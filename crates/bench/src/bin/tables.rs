@@ -1,0 +1,50 @@
+//! Regenerate the paper's results as tables.
+//!
+//! ```text
+//! tables [--exp e1|e2|…|e18|all] [--quick] [--plot]
+//! ```
+//!
+//! `--quick` shrinks instances for a fast smoke run; the default is the
+//! paper-scale configuration recorded in EXPERIMENTS.md.
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let plot = args.iter().any(|a| a == "--plot");
+    let exp = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let show = |table: &sor_bench::Table| {
+        println!("{table}");
+        if plot {
+            if let Some(col) = sor_bench::plot::default_plot_column(&table.title) {
+                if let Some(chart) = sor_bench::plot::plot_column(table, col, 40) {
+                    println!("{chart}");
+                }
+            }
+        }
+    };
+    if exp == "all" {
+        for id in sor_bench::IDS {
+            let table = sor_bench::run_one(id, quick).expect("known id");
+            show(&table);
+        }
+    } else {
+        match sor_bench::run_one(exp, quick) {
+            Some(table) => show(&table),
+            None => {
+                eprintln!(
+                    "unknown experiment '{exp}'; known: {} or 'all'",
+                    sor_bench::IDS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

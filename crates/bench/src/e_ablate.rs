@@ -1,0 +1,227 @@
+//! Experiments E10–E12: ablations of the construction's design choices.
+
+use crate::table::{f, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sor_core::sample::{demand_pairs, sample_k};
+use sor_core::special::{bucketize, dominating_special};
+use sor_core::SemiObliviousRouting;
+use sor_flow::demand::{random_permutation, random_integral_demand};
+use sor_flow::{max_concurrent_flow, EdgeLoads};
+use sor_graph::gen;
+use sor_oblivious::routing::oblivious_congestion;
+use sor_oblivious::{KspRouting, RaeckeRouting, RandomWalkRouting};
+
+/// E10 — does the sampling distribution matter? Sample `s` paths from a
+/// Räcke routing, a uniform-KSP routing, and loop-erased random walks;
+/// compare competitive ratios. (The theorem needs a *competitive* base
+/// routing; this shows why.)
+pub fn e10_sampling_source(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E10 ablation: which distribution to sample from",
+        &["source", "s", "mean ratio vs OPT", "worst ratio"],
+    );
+    let side = if quick { 4 } else { 5 };
+    let g = gen::grid(side, side);
+    let s = 3usize;
+    let seeds: u64 = if quick { 2 } else { 4 };
+    let eps = 0.15;
+
+    let mut build_rng = StdRng::seed_from_u64(1);
+    let raecke = RaeckeRouting::build(g.clone(), 10, &mut build_rng);
+    let ksp = KspRouting::new(g.clone(), 8);
+    let walk = RandomWalkRouting::new(g.clone(), 32, 9);
+    let electrical = sor_oblivious::ElectricalRouting::new(g.clone());
+
+    type Sampler<'a> =
+        &'a dyn Fn(&mut StdRng, &[(sor_graph::NodeId, sor_graph::NodeId)]) -> sor_core::PathSystem;
+    let mut eval_source = |name: &str, routing: Sampler<'_>| {
+        let mut ratios = Vec::new();
+        for seed in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let demand = random_permutation(&g, &mut rng);
+            let pairs = demand_pairs(&demand);
+            let system = routing(&mut rng, &pairs);
+            let sor = SemiObliviousRouting::new(g.clone(), system);
+            let cong = sor.congestion(&demand, eps);
+            let opt = max_concurrent_flow(&g, &demand, eps).congestion_upper;
+            ratios.push(cong / opt.max(1e-12));
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let worst = ratios.iter().copied().fold(0.0, f64::max);
+        t.row(vec![name.to_string(), s.to_string(), f(mean), f(worst)]);
+    };
+
+    eval_source("raecke", &|rng, pairs| sample_k(&raecke, pairs, s, rng).system);
+    eval_source("uniform-ksp(8)", &|rng, pairs| sample_k(&ksp, pairs, s, rng).system);
+    eval_source("random-walk", &|rng, pairs| sample_k(&walk, pairs, s, rng).system);
+    eval_source("electrical", &|rng, pairs| sample_k(&electrical, pairs, s, rng).system);
+    t.note("the theorem needs a competitive base routing; on small well-connected graphs naive\n        diversity can suffice — the separation appears on structured instances (E3, E5)");
+    t
+}
+
+/// E11 — the special-demand bucketing reduction (Lemma 5.9) as an
+/// ablation: route a skewed demand directly (what the MWU solver does)
+/// versus through the analysis's power-of-two buckets; the bucketing
+/// overhead is the log factor the reduction pays.
+pub fn e11_bucketing(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E11 ablation: direct routing vs Lemma 5.9 bucketing",
+        &["method", "congestion", "overhead vs direct"],
+    );
+    let n = if quick { 24 } else { 40 };
+    let mut grng = StdRng::seed_from_u64(13);
+    let g = gen::random_regular(n, 4, &mut grng);
+    let base = RaeckeRouting::build(g.clone(), 8, &mut grng);
+    let mut drng = StdRng::seed_from_u64(14);
+    // skewed integral demand: amounts spread over two orders of magnitude
+    let mut demand = random_integral_demand(&g, n / 2, 1, &mut drng);
+    for (i, &(s0, t0, _)) in random_integral_demand(&g, 6, 1, &mut drng)
+        .entries()
+        .to_vec()
+        .iter()
+        .enumerate()
+    {
+        demand.add(s0, t0, (8 << i) as f64);
+    }
+    let eps = 0.15;
+    let mut srng = StdRng::seed_from_u64(15);
+    let sampled = sample_k(&base, &demand_pairs(&demand), 4, &mut srng);
+    let sor = SemiObliviousRouting::new(g.clone(), sampled.system.clone());
+
+    let direct = sor.congestion(&demand, eps);
+    t.row(vec!["direct (MWU on full demand)".into(), f(direct), f(1.0)]);
+
+    // Bucketed: split by ratio, dominate each bucket by a special demand,
+    // route buckets independently, add loads.
+    let draws = |a: sor_graph::NodeId, b: sor_graph::NodeId| sampled.draws(a, b);
+    let buckets = bucketize(&demand, draws, 8);
+    let mut loads = EdgeLoads::for_graph(&g);
+    for bucket in buckets.iter().filter(|b| b.support_size() > 0) {
+        let dom = dominating_special(bucket, draws);
+        let sol = sor.route_fractional(&dom, eps);
+        loads.add(&sol.loads);
+    }
+    let bucketed = loads.congestion(&g);
+    t.row(vec![
+        format!("bucketed ({} buckets, dominated)", buckets.iter().filter(|b| b.support_size() > 0).count()),
+        f(bucketed),
+        f(bucketed / direct.max(1e-12)),
+    ]);
+    t.note("bucketing pays the reduction's log-factor; the solver avoids it in practice");
+    t
+}
+
+/// E12 — quality of the Räcke substrate: measured oblivious ratio versus
+/// the number of FRT trees in the mixture, per topology. This is the
+/// "congestion approximation" every sampling theorem consumes.
+pub fn e12_raecke_quality(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E12 Räcke substrate quality: oblivious ratio vs #trees",
+        &["graph", "trees", "worst ratio vs OPT"],
+    );
+    let graphs: Vec<(String, sor_graph::Graph)> = {
+        let mut v = vec![
+            ("abilene".to_string(), gen::abilene()),
+            (
+                format!("grid{0}x{0}", if quick { 4 } else { 5 }),
+                gen::grid(if quick { 4 } else { 5 }, if quick { 4 } else { 5 }),
+            ),
+        ];
+        if !quick {
+            v.push(("Q_6".to_string(), gen::hypercube(6)));
+        }
+        v
+    };
+    let tree_counts: &[usize] = if quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16] };
+    let demand_seeds: u64 = if quick { 2 } else { 3 };
+    let eps = 0.2;
+    type RoutingFactory<'a> = &'a dyn Fn(usize) -> Box<dyn sor_oblivious::routing::ObliviousRouting>;
+    let mut measure = |name: &str, r: RoutingFactory<'_>, g: &sor_graph::Graph, trees: usize| {
+        let routing = r(trees);
+        let mut worst: f64 = 0.0;
+        for seed in 0..demand_seeds {
+            let mut drng = StdRng::seed_from_u64(800 + seed);
+            let demand = random_permutation(g, &mut drng);
+            let c = oblivious_congestion(routing.as_ref(), &demand);
+            let opt = max_concurrent_flow(g, &demand, eps).congestion_upper;
+            worst = worst.max(c / opt.max(1e-12));
+        }
+        t.row(vec![name.to_string(), trees.to_string(), f(worst)]);
+    };
+    for (name, g) in &graphs {
+        for &trees in tree_counts {
+            measure(
+                &format!("{name} (frt)"),
+                &|k| {
+                    let mut rng = StdRng::seed_from_u64(777);
+                    Box::new(RaeckeRouting::build(g.clone(), k, &mut rng))
+                },
+                g,
+                trees,
+            );
+        }
+        // spectral counterpart at the largest mixture size
+        let &top = tree_counts.last().expect("nonempty");
+        measure(
+            &format!("{name} (spectral)"),
+            &|k| {
+                let mut rng = StdRng::seed_from_u64(777);
+                Box::new(sor_oblivious::HierRouting::build(g.clone(), k, &mut rng))
+            },
+            g,
+            top,
+        );
+    }
+    t.note("more trees → better mixture; the measured ratio is what E1/E2/E8 build on");
+    t.note("(spectral) rows: the recursive-bisection substrate at the largest mixture size");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_quick_raecke_not_worst() {
+        let t = e10_sampling_source(true);
+        let raecke: f64 = t.rows[0][2].parse().unwrap();
+        let walk: f64 = t.rows[2][2].parse().unwrap();
+        assert!(
+            raecke <= walk * 1.5 + 0.5,
+            "raecke sampling ({raecke}) should not lose badly to random walks ({walk})"
+        );
+    }
+
+    #[test]
+    fn e11_quick_bucketing_bounded_overhead() {
+        let t = e11_bucketing(true);
+        let overhead: f64 = t.rows[1][2].parse().unwrap();
+        assert!(overhead >= 0.9, "bucketing can't beat direct: {overhead}");
+        assert!(overhead < 12.0, "bucketing overhead {overhead} too large");
+    }
+
+    #[test]
+    fn e12_quick_more_trees_help() {
+        let t = e12_raecke_quality(true);
+        // quick layout per graph: 3 frt rows (1, 4, 8 trees) + 1 spectral
+        for chunk in t.rows.chunks(4) {
+            assert!(chunk[0][0].contains("(frt)"));
+            let one: f64 = chunk[0][2].parse().unwrap();
+            let eight: f64 = chunk[2][2].parse().unwrap();
+            assert!(
+                eight <= one * 1.3 + 0.2,
+                "{}: 8 trees ({eight}) worse than 1 tree ({one})",
+                chunk[0][0]
+            );
+            // the spectral substrate should be in the same ballpark as frt
+            assert!(chunk[3][0].contains("(spectral)"));
+            let spectral: f64 = chunk[3][2].parse().unwrap();
+            assert!(
+                spectral <= one * 2.0 + 1.0,
+                "{}: spectral ({spectral}) far worse than even 1 frt tree ({one})",
+                chunk[3][0]
+            );
+        }
+    }
+}

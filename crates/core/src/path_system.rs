@@ -1,0 +1,181 @@
+//! Path systems (Definition 2.1): the combinatorial object a semi-oblivious
+//! routing *is*.
+
+use sor_graph::{EdgeId, Graph, NodeId, Path};
+use std::collections::BTreeMap;
+
+/// A collection of candidate simple paths per ordered vertex pair.
+///
+/// `s`-sparsity (Definition 2.1) is `max |P_{u,v}|`. Stored paths are
+/// deduplicated per pair — the paper samples *with replacement*, but a path
+/// system is a set of paths, so duplicates only lower the effective
+/// sparsity. Iteration order is deterministic (pairs sorted by id, paths in
+/// insertion order), which keeps all seeded experiments reproducible.
+#[derive(Clone, Debug, Default)]
+pub struct PathSystem {
+    paths: BTreeMap<(u32, u32), Vec<Path>>,
+}
+
+impl PathSystem {
+    /// Empty system.
+    pub fn new() -> Self {
+        PathSystem::default()
+    }
+
+    /// Add a candidate path for `(s, t)`; duplicates are ignored. Returns
+    /// whether the path was new. Panics if the path does not run `s → t`.
+    pub fn insert(&mut self, s: NodeId, t: NodeId, path: Path) -> bool {
+        assert_eq!(path.source(), s, "path source mismatch");
+        assert_eq!(path.target(), t, "path target mismatch");
+        let v = self.paths.entry((s.0, t.0)).or_default();
+        if v.contains(&path) {
+            false
+        } else {
+            v.push(path);
+            true
+        }
+    }
+
+    /// Candidate paths for `(s, t)` (empty slice if the pair is absent).
+    pub fn paths(&self, s: NodeId, t: NodeId) -> &[Path] {
+        self.paths
+            .get(&(s.0, t.0))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether the pair has at least one candidate path.
+    pub fn covers(&self, s: NodeId, t: NodeId) -> bool {
+        !self.paths(s, t).is_empty()
+    }
+
+    /// Iterator over `(s, t, paths)`.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, &[Path])> {
+        self.paths
+            .iter()
+            .map(|(&(s, t), v)| (NodeId(s), NodeId(t), v.as_slice()))
+    }
+
+    /// Number of covered pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Total number of stored paths.
+    pub fn total_paths(&self) -> usize {
+        self.paths.values().map(Vec::len).sum()
+    }
+
+    /// The sparsity `max_{u,v} |P_{u,v}|` (0 for the empty system).
+    pub fn sparsity(&self) -> usize {
+        self.paths.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Maximum hop length over all stored paths (the system's worst-case
+    /// dilation).
+    pub fn dilation(&self) -> usize {
+        self.paths
+            .values()
+            .flat_map(|v| v.iter().map(Path::hops))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Remove every path that crosses any of `failed` edges (the TE
+    /// failure-robustness operation: candidate sets shrink, rates are then
+    /// re-adapted on the survivors). Pairs left with no paths are removed.
+    pub fn without_edges(&self, failed: &[EdgeId]) -> PathSystem {
+        let mut out = PathSystem::new();
+        for (&(s, t), v) in &self.paths {
+            let kept: Vec<Path> = v
+                .iter()
+                .filter(|p| !failed.iter().any(|&e| p.contains_edge(e)))
+                .cloned()
+                .collect();
+            if !kept.is_empty() {
+                out.paths.insert((s, t), kept);
+            }
+        }
+        out
+    }
+
+    /// Union of two systems (per-pair path union, deduplicated).
+    pub fn union(&self, other: &PathSystem) -> PathSystem {
+        let mut out = self.clone();
+        for (&(s, t), v) in &other.paths {
+            for p in v {
+                out.insert(NodeId(s), NodeId(t), p.clone());
+            }
+        }
+        out
+    }
+
+    /// Check every stored path against the graph (tests / debug).
+    pub fn validate(&self, g: &Graph) -> bool {
+        self.pairs().all(|(s, t, ps)| {
+            ps.iter()
+                .all(|p| p.validate(g) && p.source() == s && p.target() == t)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_graph::{bfs_path, gen, yen_ksp};
+
+    #[test]
+    fn insert_dedup_and_sparsity() {
+        let g = gen::cycle_graph(6);
+        let mut sys = PathSystem::new();
+        let ps = yen_ksp(&g, NodeId(0), NodeId(3), 2, &g.unit_lengths());
+        assert!(sys.insert(NodeId(0), NodeId(3), ps[0].clone()));
+        assert!(!sys.insert(NodeId(0), NodeId(3), ps[0].clone()));
+        assert!(sys.insert(NodeId(0), NodeId(3), ps[1].clone()));
+        assert_eq!(sys.sparsity(), 2);
+        assert_eq!(sys.num_pairs(), 1);
+        assert_eq!(sys.total_paths(), 2);
+        assert!(sys.validate(&g));
+        assert_eq!(sys.dilation(), 3);
+    }
+
+    #[test]
+    fn without_edges_drops_crossing_paths() {
+        let g = gen::cycle_graph(4);
+        let mut sys = PathSystem::new();
+        for p in yen_ksp(&g, NodeId(0), NodeId(2), 2, &g.unit_lengths()) {
+            sys.insert(NodeId(0), NodeId(2), p);
+        }
+        assert_eq!(sys.sparsity(), 2);
+        // kill edge 0 (0-1): the clockwise path dies
+        let cut = sys.without_edges(&[EdgeId(0)]);
+        assert_eq!(cut.sparsity(), 1);
+        // kill both first edges of both paths: pair disappears
+        let dead = sys.without_edges(&[EdgeId(0), EdgeId(3)]);
+        assert_eq!(dead.num_pairs(), 0);
+    }
+
+    #[test]
+    fn union_merges() {
+        let g = gen::cycle_graph(6);
+        let ps = yen_ksp(&g, NodeId(0), NodeId(3), 2, &g.unit_lengths());
+        let mut a = PathSystem::new();
+        a.insert(NodeId(0), NodeId(3), ps[0].clone());
+        let mut b = PathSystem::new();
+        b.insert(NodeId(0), NodeId(3), ps[1].clone());
+        b.insert(NodeId(1), NodeId(4), bfs_path(&g, NodeId(1), NodeId(4)).unwrap());
+        let u = a.union(&b);
+        assert_eq!(u.num_pairs(), 2);
+        assert_eq!(u.paths(NodeId(0), NodeId(3)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "source mismatch")]
+    fn rejects_wrong_endpoints() {
+        let g = gen::cycle_graph(4);
+        let p = bfs_path(&g, NodeId(0), NodeId(2)).unwrap();
+        PathSystem::new().insert(NodeId(1), NodeId(2), p);
+    }
+
+    use sor_graph::{EdgeId, NodeId};
+}

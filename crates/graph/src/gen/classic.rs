@@ -1,0 +1,147 @@
+//! Deterministic textbook topologies.
+
+use crate::graph::{Graph, NodeId};
+
+/// Path graph `0 - 1 - … - (n−1)` with unit capacities.
+pub fn path_graph(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut g = Graph::new(n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_unit_edge(NodeId(i as u32), NodeId(i as u32 + 1));
+    }
+    g
+}
+
+/// Cycle on `n ≥ 3` vertices with unit capacities.
+pub fn cycle_graph(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_unit_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32));
+    }
+    g
+}
+
+/// Complete graph `K_n` with unit capacities.
+pub fn complete_graph(n: usize) -> Graph {
+    assert!(n >= 2);
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            g.add_unit_edge(NodeId(i as u32), NodeId(j as u32));
+        }
+    }
+    g
+}
+
+/// Star with center `0` and `leaves` leaves, unit capacities.
+pub fn star(leaves: usize) -> Graph {
+    assert!(leaves >= 1);
+    let mut g = Graph::new(leaves + 1);
+    for i in 1..=leaves {
+        g.add_unit_edge(NodeId(0), NodeId(i as u32));
+    }
+    g
+}
+
+/// `rows × cols` grid (4-neighborhood), row-major vertex layout, unit
+/// capacities. The HKL lower-bound graphs are grids; we use them in the
+/// related-work comparisons.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_unit_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_unit_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// `rows × cols` torus (grid with wraparound), unit capacities. Requires
+/// both dimensions ≥ 3 so no parallel edges arise from the wraparound.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dims >= 3");
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_unit_edge(id(r, c), id(r, (c + 1) % cols));
+            g.add_unit_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    g
+}
+
+/// Two `k`-cliques joined by `bridges` disjoint unit edges (matching
+/// between the first `bridges` vertices of each side).
+///
+/// This is the Section 2.1 example showing why `ℓ`-sparsity (per-pair path
+/// counts scaling with the min cut) is needed for arbitrary demands: a
+/// single clique-to-clique packet pair has min cut `bridges`, and fewer
+/// than `~bridges` candidate paths force congestion `1/paths · bridges`
+/// above optimum.
+pub fn dumbbell(k: usize, bridges: usize) -> Graph {
+    assert!(k >= 2 && bridges >= 1 && bridges <= k);
+    let mut g = Graph::new(2 * k);
+    for i in 0..k {
+        for j in i + 1..k {
+            g.add_unit_edge(NodeId(i as u32), NodeId(j as u32));
+            g.add_unit_edge(NodeId((k + i) as u32), NodeId((k + j) as u32));
+        }
+    }
+    for b in 0..bridges {
+        g.add_unit_edge(NodeId(b as u32), NodeId((k + b) as u32));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(path_graph(5).num_edges(), 4);
+        assert_eq!(cycle_graph(5).num_edges(), 5);
+        assert_eq!(complete_graph(6).num_edges(), 15);
+        assert_eq!(star(7).num_edges(), 7);
+        assert_eq!(grid(3, 4).num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(torus(3, 4).num_edges(), 2 * 12);
+        assert_eq!(dumbbell(4, 2).num_edges(), 2 * 6 + 2);
+    }
+
+    #[test]
+    fn all_connected() {
+        assert!(is_connected(&path_graph(6)));
+        assert!(is_connected(&cycle_graph(6)));
+        assert!(is_connected(&complete_graph(5)));
+        assert!(is_connected(&star(5)));
+        assert!(is_connected(&grid(4, 4)));
+        assert!(is_connected(&torus(3, 3)));
+        assert!(is_connected(&dumbbell(5, 3)));
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = torus(4, 5);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn dumbbell_bridge_degrees() {
+        let g = dumbbell(4, 2);
+        // Bridge endpoints have degree k-1+1 = 4.
+        assert_eq!(g.degree(NodeId(0)), 4);
+        assert_eq!(g.degree(NodeId(3)), 3);
+    }
+}

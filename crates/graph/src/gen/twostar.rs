@@ -1,0 +1,253 @@
+//! The two-star lower-bound family of Section 8.
+//!
+//! `TwoStar(r, m)`: two stars with `m` leaves each, whose centers are also
+//! joined through `r` *middle* vertices (each adjacent to both centers).
+//! Every simple path between a left leaf and a right leaf crosses exactly
+//! one middle vertex, so an `s`-sparse path system commits each leaf pair
+//! to at most `s` of the `r` middle vertices — the pigeonhole/Hall argument
+//! of Lemma 8.1 then extracts a permutation demand on which the system
+//! congests `≈ q/|S|` while OPT stays O(1).
+//!
+//! `TwoStarChain` glues several `TwoStar` blocks with bridge edges
+//! (Lemma 8.2) so a single graph witnesses the lower bound at every scale.
+
+use crate::graph::{Graph, NodeId};
+
+/// The Lemma 8.1 gadget with `r` middle vertices and `m` leaves per star.
+///
+/// Vertex layout: `0` = left center, `1` = right center, `2..2+r` = middle
+/// vertices, then `m` left leaves, then `m` right leaves.
+#[derive(Clone, Debug)]
+pub struct TwoStar {
+    r: usize,
+    m: usize,
+    graph: Graph,
+}
+
+impl TwoStar {
+    /// Build the gadget. `r ≥ 1` middle vertices, `m ≥ 1` leaves per side.
+    pub fn new(r: usize, m: usize) -> Self {
+        assert!(r >= 1 && m >= 1);
+        let mut g = Graph::new(2 + r + 2 * m);
+        let c1 = NodeId(0);
+        let c2 = NodeId(1);
+        for i in 0..r {
+            let mid = NodeId((2 + i) as u32);
+            g.add_unit_edge(c1, mid);
+            g.add_unit_edge(mid, c2);
+        }
+        for i in 0..m {
+            g.add_unit_edge(c1, NodeId((2 + r + i) as u32));
+            g.add_unit_edge(c2, NodeId((2 + r + m + i) as u32));
+        }
+        TwoStar { r, m, graph: g }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume and return the graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Number of middle vertices.
+    pub fn num_middles(&self) -> usize {
+        self.r
+    }
+
+    /// Number of leaves on each side.
+    pub fn num_leaves(&self) -> usize {
+        self.m
+    }
+
+    /// Left star center.
+    pub fn center1(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Right star center.
+    pub fn center2(&self) -> NodeId {
+        NodeId(1)
+    }
+
+    /// The `i`-th middle vertex (`i < r`).
+    pub fn middle(&self, i: usize) -> NodeId {
+        assert!(i < self.r);
+        NodeId((2 + i) as u32)
+    }
+
+    /// The `i`-th left leaf (`i < m`).
+    pub fn left_leaf(&self, i: usize) -> NodeId {
+        assert!(i < self.m);
+        NodeId((2 + self.r + i) as u32)
+    }
+
+    /// The `i`-th right leaf (`i < m`).
+    pub fn right_leaf(&self, i: usize) -> NodeId {
+        assert!(i < self.m);
+        NodeId((2 + self.r + self.m + i) as u32)
+    }
+
+    /// Whether `v` is a middle vertex.
+    pub fn is_middle(&self, v: NodeId) -> bool {
+        (2..2 + self.r).contains(&v.index())
+    }
+}
+
+/// Convenience: just the graph of [`TwoStar::new`].
+pub fn two_star(r: usize, m: usize) -> Graph {
+    TwoStar::new(r, m).into_graph()
+}
+
+/// Several [`TwoStar`] blocks glued in a chain by unit bridge edges between
+/// consecutive left centers (Lemma 8.2 — bridges do not affect cuts or
+/// simple paths *inside* a block).
+#[derive(Clone, Debug)]
+pub struct TwoStarChain {
+    /// (r, m) of each block, in order.
+    specs: Vec<(usize, usize)>,
+    /// Vertex-id offset of each block within the combined graph.
+    offsets: Vec<u32>,
+    graph: Graph,
+}
+
+impl TwoStarChain {
+    /// Build a chain of blocks with the given `(r, m)` parameters.
+    pub fn new(specs: &[(usize, usize)]) -> Self {
+        assert!(!specs.is_empty());
+        let mut offsets = Vec::with_capacity(specs.len());
+        let mut total = 0u32;
+        for &(r, m) in specs {
+            offsets.push(total);
+            total += (2 + r + 2 * m) as u32;
+        }
+        let mut g = Graph::new(total as usize);
+        for (b, &(r, m)) in specs.iter().enumerate() {
+            let off = offsets[b];
+            let c1 = NodeId(off);
+            let c2 = NodeId(off + 1);
+            for i in 0..r as u32 {
+                let mid = NodeId(off + 2 + i);
+                g.add_unit_edge(c1, mid);
+                g.add_unit_edge(mid, c2);
+            }
+            for i in 0..m as u32 {
+                g.add_unit_edge(c1, NodeId(off + 2 + r as u32 + i));
+                g.add_unit_edge(c2, NodeId(off + 2 + r as u32 + m as u32 + i));
+            }
+            if b > 0 {
+                // bridge from the previous block's left center
+                g.add_unit_edge(NodeId(offsets[b - 1]), c1);
+            }
+        }
+        TwoStarChain {
+            specs: specs.to_vec(),
+            offsets,
+            graph: g,
+        }
+    }
+
+    /// The combined graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `(r, m)` of block `b`.
+    pub fn spec(&self, b: usize) -> (usize, usize) {
+        self.specs[b]
+    }
+
+    /// Left/right center of block `b`.
+    pub fn centers(&self, b: usize) -> (NodeId, NodeId) {
+        let off = self.offsets[b];
+        (NodeId(off), NodeId(off + 1))
+    }
+
+    /// The `i`-th middle vertex of block `b`.
+    pub fn middle(&self, b: usize, i: usize) -> NodeId {
+        let (r, _) = self.specs[b];
+        assert!(i < r);
+        NodeId(self.offsets[b] + 2 + i as u32)
+    }
+
+    /// The `i`-th left leaf of block `b`.
+    pub fn left_leaf(&self, b: usize, i: usize) -> NodeId {
+        let (r, m) = self.specs[b];
+        assert!(i < m);
+        NodeId(self.offsets[b] + (2 + r + i) as u32)
+    }
+
+    /// The `i`-th right leaf of block `b`.
+    pub fn right_leaf(&self, b: usize, i: usize) -> NodeId {
+        let (r, m) = self.specs[b];
+        assert!(i < m);
+        NodeId(self.offsets[b] + (2 + r + m + i) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{bfs_dists, is_connected};
+
+    #[test]
+    fn two_star_shape() {
+        let ts = TwoStar::new(3, 5);
+        let g = ts.graph();
+        assert_eq!(g.num_nodes(), 2 + 3 + 10);
+        assert_eq!(g.num_edges(), 2 * 3 + 2 * 5);
+        assert!(is_connected(g));
+        assert_eq!(g.degree(ts.center1()), 3 + 5);
+        assert_eq!(g.degree(ts.middle(0)), 2);
+        assert_eq!(g.degree(ts.left_leaf(4)), 1);
+    }
+
+    #[test]
+    fn leaf_to_leaf_distance() {
+        let ts = TwoStar::new(2, 3);
+        let d = bfs_dists(ts.graph(), ts.left_leaf(0));
+        // leaf -> c1 -> mid -> c2 -> right leaf = 4 hops
+        assert_eq!(d[ts.right_leaf(0).index()], 4);
+        assert_eq!(d[ts.left_leaf(1).index()], 2);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let chain = TwoStarChain::new(&[(2, 3), (4, 5), (1, 2)]);
+        let g = chain.graph();
+        assert!(is_connected(g));
+        let expect_nodes = (2 + 2 + 6) + (2 + 4 + 10) + (2 + 1 + 4);
+        assert_eq!(g.num_nodes(), expect_nodes);
+        // block edges + 2 bridges
+        let expect_edges = (4 + 6) + (8 + 10) + (2 + 4) + 2;
+        assert_eq!(g.num_edges(), expect_edges);
+        assert_eq!(chain.num_blocks(), 3);
+        assert_eq!(chain.spec(1), (4, 5));
+    }
+
+    #[test]
+    fn chain_block_accessors_are_disjoint() {
+        let chain = TwoStarChain::new(&[(2, 2), (2, 2)]);
+        let mut ids = std::collections::HashSet::new();
+        for b in 0..2 {
+            let (c1, c2) = chain.centers(b);
+            ids.insert(c1);
+            ids.insert(c2);
+            ids.insert(chain.middle(b, 0));
+            ids.insert(chain.middle(b, 1));
+            for i in 0..2 {
+                ids.insert(chain.left_leaf(b, i));
+                ids.insert(chain.right_leaf(b, i));
+            }
+        }
+        assert_eq!(ids.len(), 2 * (2 + 2 + 4));
+    }
+}

@@ -1,0 +1,259 @@
+//! WAN topologies in the style of the SMORE evaluation \[KYF+18\].
+//!
+//! These are *WAN-like* research topologies transcribed from the publicly
+//! documented shapes of the Abilene, Google B4, and GÉANT backbones. Exact
+//! link capacities of the production networks are not public; we use
+//! uniform capacities (Abilene) and a two-tier capacity mix (B4/GEANT),
+//! which preserves what the experiments measure — the *ratio* between a
+//! routing scheme's max link utilization and the offline optimum on the
+//! same topology.
+
+use crate::graph::{Graph, NodeId};
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> Graph {
+    let mut g = Graph::new(n);
+    for &(u, v, c) in edges {
+        g.add_edge(NodeId(u), NodeId(v), c);
+    }
+    g
+}
+
+/// The Abilene research backbone: 11 PoPs, 14 links, uniform capacity.
+///
+/// Nodes: 0 Seattle, 1 Sunnyvale, 2 Los Angeles, 3 Denver, 4 Kansas City,
+/// 5 Houston, 6 Atlanta, 7 Indianapolis, 8 Chicago, 9 Washington DC,
+/// 10 New York.
+pub fn abilene() -> Graph {
+    build(
+        11,
+        &[
+            (0, 1, 1.0),  // Seattle–Sunnyvale
+            (0, 3, 1.0),  // Seattle–Denver
+            (1, 2, 1.0),  // Sunnyvale–LA
+            (1, 3, 1.0),  // Sunnyvale–Denver
+            (2, 5, 1.0),  // LA–Houston
+            (3, 4, 1.0),  // Denver–Kansas City
+            (4, 5, 1.0),  // KC–Houston
+            (4, 7, 1.0),  // KC–Indianapolis
+            (5, 6, 1.0),  // Houston–Atlanta
+            (6, 7, 1.0),  // Atlanta–Indianapolis
+            (6, 9, 1.0),  // Atlanta–Washington
+            (7, 8, 1.0),  // Indianapolis–Chicago
+            (8, 10, 1.0), // Chicago–New York
+            (9, 10, 1.0), // Washington–New York
+        ],
+    )
+}
+
+/// A B4-like topology: 12 sites, 19 links, inter-continental links at
+/// double capacity (stand-in for the real network's heterogeneous trunks).
+pub fn b4() -> Graph {
+    build(
+        12,
+        &[
+            // North America cluster 0..5
+            (0, 1, 1.0),
+            (0, 2, 1.0),
+            (1, 2, 1.0),
+            (1, 3, 1.0),
+            (2, 4, 1.0),
+            (3, 4, 1.0),
+            (3, 5, 1.0),
+            (4, 5, 1.0),
+            // trans-oceanic trunks
+            (4, 6, 2.0),
+            (5, 7, 2.0),
+            (2, 8, 2.0),
+            // Europe cluster 6..7 + Asia cluster 8..11
+            (6, 7, 1.0),
+            (6, 9, 1.0),
+            (7, 9, 1.0),
+            (8, 9, 2.0),
+            (8, 10, 1.0),
+            (9, 11, 1.0),
+            (10, 11, 1.0),
+            (8, 11, 1.0),
+        ],
+    )
+}
+
+/// A GÉANT-like pan-European topology: 22 nodes, 36 links, core ring at
+/// double capacity.
+pub fn geant() -> Graph {
+    build(
+        22,
+        &[
+            // dense core ring 0..7 (double capacity)
+            (0, 1, 2.0),
+            (1, 2, 2.0),
+            (2, 3, 2.0),
+            (3, 4, 2.0),
+            (4, 5, 2.0),
+            (5, 6, 2.0),
+            (6, 7, 2.0),
+            (7, 0, 2.0),
+            // core chords
+            (0, 3, 2.0),
+            (1, 5, 2.0),
+            (2, 6, 2.0),
+            (4, 7, 2.0),
+            // regional attachments
+            (8, 0, 1.0),
+            (8, 1, 1.0),
+            (9, 1, 1.0),
+            (9, 2, 1.0),
+            (10, 2, 1.0),
+            (10, 3, 1.0),
+            (11, 3, 1.0),
+            (11, 4, 1.0),
+            (12, 4, 1.0),
+            (12, 5, 1.0),
+            (13, 5, 1.0),
+            (13, 6, 1.0),
+            (14, 6, 1.0),
+            (14, 7, 1.0),
+            (15, 7, 1.0),
+            (15, 0, 1.0),
+            // stubs hanging off the regionals
+            (16, 8, 1.0),
+            (16, 9, 1.0),
+            (17, 9, 1.0),
+            (18, 10, 1.0),
+            (18, 11, 1.0),
+            (19, 12, 1.0),
+            (20, 13, 1.0),
+            (20, 14, 1.0),
+            (21, 15, 1.0),
+            (21, 16, 1.0),
+        ],
+    )
+}
+
+/// An ATT-NA-like topology: 25 PoPs, 56 links — the largest embedded WAN,
+/// a continental mesh with a double-capacity express core (stylized, as
+/// with the other WAN shapes; exact production capacities are not
+/// public).
+pub fn att() -> Graph {
+    build(
+        25,
+        &[
+            // west coast chain 0..4
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 4, 1.0),
+            (0, 2, 1.0),
+            // mountain 5..8
+            (1, 5, 1.0),
+            (3, 5, 1.0),
+            (4, 6, 1.0),
+            (5, 6, 1.0),
+            (5, 7, 1.0),
+            (6, 8, 1.0),
+            (7, 8, 1.0),
+            // central corridor 9..14 (express core, double capacity)
+            (7, 9, 2.0),
+            (8, 10, 2.0),
+            (9, 10, 2.0),
+            (9, 11, 2.0),
+            (10, 12, 2.0),
+            (11, 12, 2.0),
+            (11, 13, 2.0),
+            (12, 14, 2.0),
+            (13, 14, 2.0),
+            // south 15..18
+            (10, 15, 1.0),
+            (12, 16, 1.0),
+            (15, 16, 1.0),
+            (15, 17, 1.0),
+            (16, 18, 1.0),
+            (17, 18, 1.0),
+            // northeast 19..24
+            (13, 19, 1.0),
+            (14, 20, 1.0),
+            (19, 20, 2.0),
+            (19, 21, 1.0),
+            (20, 22, 1.0),
+            (21, 22, 2.0),
+            (21, 23, 1.0),
+            (22, 24, 1.0),
+            (23, 24, 1.0),
+            (18, 20, 1.0),
+            // express chords
+            (2, 9, 2.0),
+            (4, 10, 1.0),
+            (9, 13, 2.0),
+            (10, 16, 1.0),
+            (12, 19, 1.0),
+            (14, 21, 1.0),
+            (16, 20, 1.0),
+            (0, 5, 1.0),
+            (8, 15, 1.0),
+            (17, 24, 1.0),
+            (6, 9, 1.0),
+            (11, 16, 1.0),
+            (13, 21, 1.0),
+            (3, 6, 1.0),
+            (1, 7, 1.0),
+            (18, 24, 1.0),
+            (22, 23, 1.0),
+            (2, 4, 1.0),
+            (15, 18, 1.0),
+            (19, 14, 1.0),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_connected};
+
+    #[test]
+    fn abilene_shape() {
+        let g = abilene();
+        assert_eq!(g.num_nodes(), 11);
+        assert_eq!(g.num_edges(), 14);
+        assert!(is_connected(&g));
+        assert!(diameter(&g) <= 6);
+    }
+
+    #[test]
+    fn b4_shape() {
+        let g = b4();
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 19);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn geant_shape() {
+        let g = geant();
+        assert_eq!(g.num_nodes(), 22);
+        assert!(is_connected(&g));
+        // every vertex participates in at least one edge
+        for v in g.nodes() {
+            assert!(g.degree(v) >= 1, "isolated vertex {v}");
+        }
+    }
+
+    #[test]
+    fn att_shape() {
+        let g = att();
+        assert_eq!(g.num_nodes(), 25);
+        assert!(is_connected(&g));
+        assert!(diameter(&g) <= 8);
+        for v in g.nodes() {
+            assert!(g.degree(v) >= 2, "WAN PoP {v} should be 2-connected-ish");
+        }
+    }
+
+    #[test]
+    fn capacities_positive_everywhere() {
+        for g in [abilene(), b4(), geant(), att()] {
+            for e in g.edges() {
+                assert!(e.cap >= 1.0);
+            }
+        }
+    }
+}

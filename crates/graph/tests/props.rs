@@ -1,0 +1,118 @@
+//! Property-based tests for the graph substrate, over random connected
+//! graphs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sor_graph::{
+    bfs_dists, bridges, connected_without, dijkstra, gen, global_min_cut, max_flow,
+    spectral_gap, st_min_cut, yen_ksp, Graph, NodeId,
+};
+
+fn arb_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = (2.5 * (n as f64).ln() / n as f64).min(0.9);
+    gen::erdos_renyi_connected(n, p, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dijkstra distances satisfy the triangle inequality through any
+    /// intermediate vertex and agree with BFS under unit lengths.
+    #[test]
+    fn dijkstra_triangle_and_bfs(seed in 0u64..400, n in 5usize..14) {
+        let g = arb_graph(n, seed);
+        let len = g.unit_lengths();
+        let trees: Vec<_> = g.nodes().map(|s| dijkstra(&g, s, &len)).collect();
+        for s in g.nodes() {
+            let b = bfs_dists(&g, s);
+            for v in g.nodes() {
+                prop_assert!((trees[s.index()].dist[v.index()] - b[v.index()] as f64).abs() < 1e-9);
+            }
+        }
+        // triangle through vertex 0
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let direct = trees[u.index()].dist[v.index()];
+                let via = trees[u.index()].dist[0] + trees[0].dist[v.index()];
+                prop_assert!(direct <= via + 1e-9);
+            }
+        }
+    }
+
+    /// Max-flow is bounded by both endpoint capacitated degrees and is
+    /// symmetric.
+    #[test]
+    fn maxflow_degree_bound_and_symmetry(seed in 0u64..400, n in 5usize..12) {
+        let g = arb_graph(n, seed);
+        let s = NodeId(0);
+        let t = NodeId((n - 1) as u32);
+        let f = max_flow(&g, s, t);
+        prop_assert!(f <= g.cap_degree(s) + 1e-6);
+        prop_assert!(f <= g.cap_degree(t) + 1e-6);
+        prop_assert!(f >= 1.0 - 1e-6, "connected unit graph has flow ≥ 1");
+        let back = max_flow(&g, t, s);
+        prop_assert!((f - back).abs() < 1e-6);
+    }
+
+    /// Global min cut is the minimum over s-t cuts from a fixed source
+    /// (standard reduction) and is bounded by the min degree.
+    #[test]
+    fn global_cut_consistency(seed in 0u64..300, n in 5usize..10) {
+        let g = arb_graph(n, seed);
+        let global = global_min_cut(&g);
+        let min_deg = g.nodes().map(|v| g.cap_degree(v)).fold(f64::INFINITY, f64::min);
+        prop_assert!(global <= min_deg + 1e-6);
+        let from_zero = g
+            .nodes()
+            .skip(1)
+            .map(|t| st_min_cut(&g, NodeId(0), t))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((global - from_zero).abs() < 1e-6,
+            "global {} vs min-over-pairs-from-0 {}", global, from_zero);
+    }
+
+    /// An edge is a bridge iff its removal disconnects the graph.
+    #[test]
+    fn bridges_are_exactly_disconnectors(seed in 0u64..300, n in 5usize..10) {
+        let g = arb_graph(n, seed);
+        let bs = bridges(&g);
+        for e in g.edge_ids() {
+            let is_bridge = bs.contains(&e);
+            prop_assert_eq!(is_bridge, !connected_without(&g, &[e]));
+        }
+    }
+
+    /// Yen's first path matches Dijkstra and all paths connect the pair.
+    #[test]
+    fn yen_first_is_shortest(seed in 0u64..300, n in 5usize..12, k in 1usize..5) {
+        let g = arb_graph(n, seed);
+        let len = g.unit_lengths();
+        let s = NodeId(1 % n as u32);
+        let t = NodeId((n - 1) as u32);
+        if s == t { return Ok(()); }
+        let ps = yen_ksp(&g, s, t, k, &len);
+        let d = dijkstra(&g, s, &len).dist[t.index()];
+        prop_assert!((ps[0].length(&len) - d).abs() < 1e-9);
+    }
+
+    /// Spectral gap is in [0, 1] and positive on connected graphs.
+    #[test]
+    fn gap_in_range(seed in 0u64..200, n in 5usize..12) {
+        let g = arb_graph(n, seed);
+        let gap = spectral_gap(&g, 150);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&gap));
+    }
+
+    /// `without_edges` preserves node count and drops exactly the edges.
+    #[test]
+    fn without_edges_shape(seed in 0u64..200, n in 5usize..10) {
+        let g = arb_graph(n, seed);
+        let victim = sor_graph::EdgeId(0);
+        let h = g.without_edges(&[victim]);
+        prop_assert_eq!(h.num_nodes(), g.num_nodes());
+        prop_assert_eq!(h.num_edges(), g.num_edges() - 1);
+        prop_assert!((h.total_cap() - (g.total_cap() - g.cap(victim))).abs() < 1e-9);
+    }
+}

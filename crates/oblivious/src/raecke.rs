@@ -1,0 +1,249 @@
+//! Räcke-style oblivious routing: a multiplicative-weights mixture of FRT
+//! congestion trees.
+//!
+//! \[Räc08\] shows that O(log n) random decomposition trees, built
+//! iteratively with edge lengths that exponentially penalize the load the
+//! previous trees placed on each edge, yield an O(log n)-competitive
+//! oblivious routing. We implement that loop directly on top of
+//! [`FrtTree`]:
+//!
+//! 1. start with zero accumulated load,
+//! 2. build a tree under lengths `ℓ_e ∝ exp(η · load_e / max_load) / cap_e`,
+//! 3. add the tree's normalized [`FrtTree::relative_loads`] to the
+//!    accumulator, and repeat;
+//! 4. the routing is the uniform mixture of the trees: to route `(s, t)`,
+//!    pick a tree at random and follow its physical path.
+//!
+//! The O(log n) constant of the paper's analysis is not certified by this
+//! implementation; experiment E12 *measures* the achieved competitiveness
+//! on every experiment topology, which is what the downstream sampling
+//! theorems actually consume.
+
+use crate::frt::FrtTree;
+use crate::routing::{ObliviousRouting, PathDist};
+use parking_lot::Mutex;
+use rand::Rng;
+use sor_graph::{Graph, NodeId, Path};
+use std::collections::HashMap;
+
+/// Tunables of the Räcke MWU loop, exposed for the ablation experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct RaeckeConfig {
+    /// Number of FRT trees in the mixture.
+    pub num_trees: usize,
+    /// Multiplicative-weights rate: edge lengths are
+    /// `exp(η · load/max_load) / cap`. `None` picks the default
+    /// `ln(1 + m)`.
+    pub eta: Option<f64>,
+}
+
+impl RaeckeConfig {
+    /// Default configuration with the given tree count.
+    pub fn with_trees(num_trees: usize) -> Self {
+        RaeckeConfig {
+            num_trees,
+            eta: None,
+        }
+    }
+}
+
+/// A mixture of FRT congestion trees with uniform weights.
+pub struct RaeckeRouting {
+    g: Graph,
+    trees: Vec<FrtTree>,
+    cache: Mutex<HashMap<(NodeId, NodeId), PathDist>>,
+}
+
+impl RaeckeRouting {
+    /// Build with `num_trees` trees (≥ `log₂ n` recommended; experiments
+    /// use 8–32) and the default MWU rate.
+    pub fn build<R: Rng + ?Sized>(g: Graph, num_trees: usize, rng: &mut R) -> Self {
+        Self::build_config(g, RaeckeConfig::with_trees(num_trees), rng)
+    }
+
+    /// Build with explicit tunables.
+    pub fn build_config<R: Rng + ?Sized>(g: Graph, cfg: RaeckeConfig, rng: &mut R) -> Self {
+        assert!(cfg.num_trees >= 1);
+        let m = g.num_edges();
+        let eta = cfg.eta.unwrap_or_else(|| (1.0 + m as f64).ln());
+        assert!(eta >= 0.0 && eta.is_finite(), "η must be nonnegative");
+        let mut load = vec![0.0f64; m];
+        let mut trees = Vec::with_capacity(cfg.num_trees);
+        for _ in 0..cfg.num_trees {
+            let max_load = load.iter().copied().fold(0.0, f64::max).max(1e-300);
+            let lengths: Vec<f64> = load
+                .iter()
+                .zip(g.edges())
+                .map(|(&l, e)| (eta * l / max_load.max(1.0)).exp() / e.cap)
+                .collect();
+            let tree = FrtTree::build(&g, &lengths, rng);
+            let rload = tree.relative_loads(&g);
+            let rmax = rload.iter().copied().fold(0.0, f64::max).max(1e-300);
+            for (acc, r) in load.iter_mut().zip(&rload) {
+                *acc += r / rmax;
+            }
+            trees.push(tree);
+        }
+        RaeckeRouting {
+            g,
+            trees,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The trees in the mixture.
+    pub fn trees(&self) -> &[FrtTree] {
+        &self.trees
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl ObliviousRouting for RaeckeRouting {
+    fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
+        assert!(s != t);
+        if let Some(d) = self.cache.lock().get(&(s, t)) {
+            return d.clone();
+        }
+        let w = 1.0 / self.trees.len() as f64;
+        let mut merged: HashMap<Path, f64> = HashMap::new();
+        for tree in &self.trees {
+            *merged.entry(tree.route(s, t)).or_insert(0.0) += w;
+        }
+        let mut dist: PathDist = merged.into_iter().collect();
+        dist.sort_by(|a, b| {
+            a.0.nodes()
+                .iter()
+                .map(|v| v.0)
+                .cmp(b.0.nodes().iter().map(|v| v.0))
+        });
+        self.cache.lock().insert((s, t), dist.clone());
+        dist
+    }
+
+    fn sample_path<R: Rng + ?Sized>(&self, s: NodeId, t: NodeId, rng: &mut R) -> Path {
+        assert!(s != t);
+        let i = rng.gen_range(0..self.trees.len());
+        self.trees[i].route(s, t)
+    }
+
+    fn name(&self) -> &'static str {
+        "raecke"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::oblivious_congestion;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sor_flow::demand::random_permutation;
+    use sor_flow::opt_congestion;
+    use sor_graph::gen;
+
+    #[test]
+    fn distribution_is_probability() {
+        let g = gen::grid(4, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = RaeckeRouting::build(g, 6, &mut rng);
+        let dist = r.path_distribution(NodeId(0), NodeId(15));
+        let total: f64 = dist.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for (p, w) in &dist {
+            assert!(*w > 0.0);
+            assert!(p.validate(r.graph()));
+        }
+    }
+
+    #[test]
+    fn sample_in_support() {
+        let g = gen::cycle_graph(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = RaeckeRouting::build(g, 4, &mut rng);
+        let dist = r.path_distribution(NodeId(0), NodeId(4));
+        for _ in 0..20 {
+            let p = r.sample_path(NodeId(0), NodeId(4), &mut rng);
+            assert!(dist.iter().any(|(q, _)| *q == p));
+        }
+    }
+
+    #[test]
+    fn measured_competitiveness_is_moderate() {
+        // The whole point of Räcke: oblivious congestion within a small
+        // factor of OPT. On a 4×4 grid with random permutation demands the
+        // measured ratio should be far below the ~n ratio a bad routing
+        // can hit.
+        let g = gen::grid(4, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = RaeckeRouting::build(g.clone(), 10, &mut rng);
+        let mut worst: f64 = 0.0;
+        for seed in 0..3 {
+            let mut drng = StdRng::seed_from_u64(100 + seed);
+            let demand = random_permutation(&g, &mut drng);
+            let c = oblivious_congestion(&r, &demand);
+            let opt = opt_congestion(&g, &demand);
+            worst = worst.max(c / opt.congestion_upper.max(1e-12));
+        }
+        assert!(worst < 12.0, "Räcke ratio {worst} too large on 4x4 grid");
+        assert!(worst >= 1.0 - 0.35, "ratio {worst} suspiciously below 1");
+    }
+
+    #[test]
+    fn eta_zero_ignores_congestion_feedback() {
+        // With η = 0 every tree is built on the same (inverse-capacity)
+        // metric: feedback off. On a cycle the η>0 mixture should spread
+        // cut points at least as well.
+        let g = gen::cycle_graph(10);
+        let demand = sor_flow::demand::uniform_all_pairs(&g, 1.0);
+        let flat = RaeckeRouting::build_config(
+            g.clone(),
+            RaeckeConfig {
+                num_trees: 8,
+                eta: Some(0.0),
+            },
+            &mut StdRng::seed_from_u64(2),
+        );
+        let fed = RaeckeRouting::build_config(
+            g.clone(),
+            RaeckeConfig {
+                num_trees: 8,
+                eta: None,
+            },
+            &mut StdRng::seed_from_u64(2),
+        );
+        let c_flat = oblivious_congestion(&flat, &demand);
+        let c_fed = oblivious_congestion(&fed, &demand);
+        assert!(
+            c_fed <= c_flat * 1.1 + 1e-9,
+            "feedback ({c_fed}) should not lose to no-feedback ({c_flat})"
+        );
+    }
+
+    #[test]
+    fn cycle_spreads_load() {
+        // On a cycle, a single tree must cut somewhere (ratio Ω(n) for one
+        // tree); mixing trees with congestion feedback should spread the
+        // cut points and beat the single-tree bound.
+        let g = gen::cycle_graph(12);
+        let mut rng = StdRng::seed_from_u64(7);
+        let single = RaeckeRouting::build(g.clone(), 1, &mut rng);
+        let mixed = RaeckeRouting::build(g.clone(), 12, &mut rng);
+        let demand = sor_flow::demand::uniform_all_pairs(&g, 1.0);
+        let c1 = oblivious_congestion(&single, &demand);
+        let cm = oblivious_congestion(&mixed, &demand);
+        assert!(
+            cm < c1,
+            "mixture ({cm}) should beat a single tree ({c1}) on the cycle"
+        );
+    }
+
+    use sor_graph::NodeId;
+}

@@ -1,0 +1,157 @@
+//! Loop-erased random-walk routing — an ablation sampling distribution.
+//!
+//! Experiment E10 compares sampling candidate paths from a *good* oblivious
+//! routing (Räcke/Valiant) against naïve alternatives; loop-erased random
+//! walks are the "maximally diverse but quality-blind" end of that
+//! spectrum.
+
+use crate::routing::{sample_from_dist, ObliviousRouting, PathDist};
+use rand::Rng;
+use sor_graph::{Graph, NodeId, Path};
+
+/// Routing whose `(s, t)` distribution is "run a random walk from `s`
+/// until it hits `t`, then erase loops". The distribution has exponential
+/// support; [`ObliviousRouting::path_distribution`] returns a Monte-Carlo
+/// approximation with `support_samples` draws from a construction-seeded
+/// deterministic stream, so repeated calls agree.
+pub struct RandomWalkRouting {
+    g: Graph,
+    /// Number of Monte-Carlo samples used to approximate the distribution.
+    support_samples: usize,
+    /// Seed for the deterministic per-pair sample streams.
+    seed: u64,
+}
+
+impl RandomWalkRouting {
+    /// Create with the given Monte-Carlo support size and seed.
+    pub fn new(g: Graph, support_samples: usize, seed: u64) -> Self {
+        assert!(support_samples >= 1);
+        RandomWalkRouting {
+            g,
+            support_samples,
+            seed,
+        }
+    }
+
+    /// One loop-erased random walk from `s` to `t`.
+    fn walk<R: Rng + ?Sized>(&self, s: NodeId, t: NodeId, rng: &mut R) -> Path {
+        let n = self.g.num_nodes();
+        // Hitting time on a connected graph is O(n^3) in the worst case;
+        // this cap only guards against bugs.
+        let max_steps = 100 * n * n * n + 1000;
+        // Walk recording (node, incoming edge); loop-erase on revisits.
+        let mut nodes = vec![s];
+        let mut edges = Vec::new();
+        let mut pos = std::collections::HashMap::new();
+        pos.insert(s, 0usize);
+        let mut steps = 0usize;
+        while *nodes.last().expect("nonempty") != t {
+            steps += 1;
+            assert!(steps <= max_steps, "random walk failed to hit target");
+            let cur = *nodes.last().expect("nonempty");
+            let inc = self.g.incident(cur);
+            let &(e, v) = &inc[rng.gen_range(0..inc.len())];
+            if let Some(&i) = pos.get(&v) {
+                // erase the loop back to the first visit of v
+                for dropped in nodes.drain(i + 1..) {
+                    pos.remove(&dropped);
+                }
+                edges.truncate(i);
+            } else {
+                pos.insert(v, nodes.len());
+                nodes.push(v);
+                edges.push(e);
+            }
+        }
+        Path::from_edges(&self.g, s, edges).expect("loop-erased walk is a simple path")
+    }
+}
+
+impl ObliviousRouting for RandomWalkRouting {
+    fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
+        assert!(s != t);
+        use rand::SeedableRng;
+        // Per-pair deterministic stream so the "distribution" is a fixed
+        // object, as obliviousness requires.
+        let pair_seed = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(((s.0 as u64) << 32) | t.0 as u64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(pair_seed);
+        let mut merged: std::collections::HashMap<Path, f64> = std::collections::HashMap::new();
+        let w = 1.0 / self.support_samples as f64;
+        for _ in 0..self.support_samples {
+            let p = self.walk(s, t, &mut rng);
+            *merged.entry(p).or_insert(0.0) += w;
+        }
+        let mut dist: PathDist = merged.into_iter().collect();
+        dist.sort_by(|a, b| {
+            a.0.nodes()
+                .iter()
+                .map(|v| v.0)
+                .cmp(b.0.nodes().iter().map(|v| v.0))
+        });
+        dist
+    }
+
+    fn sample_path<R: Rng + ?Sized>(&self, s: NodeId, t: NodeId, rng: &mut R) -> Path {
+        // Sample from the *fixed* approximate distribution, not a fresh
+        // walk, so sampling and the declared distribution agree.
+        let dist = self.path_distribution(s, t);
+        sample_from_dist(&dist, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "random-walk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sor_graph::gen;
+
+    #[test]
+    fn walks_are_valid_paths() {
+        let r = RandomWalkRouting::new(gen::grid(3, 3), 16, 1);
+        let dist = r.path_distribution(NodeId(0), NodeId(8));
+        let total: f64 = dist.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for (p, _) in &dist {
+            assert!(p.validate(r.graph()));
+            assert_eq!(p.source(), NodeId(0));
+            assert_eq!(p.target(), NodeId(8));
+        }
+    }
+
+    #[test]
+    fn distribution_is_deterministic() {
+        let r = RandomWalkRouting::new(gen::cycle_graph(5), 8, 7);
+        let a = r.path_distribution(NodeId(0), NodeId(2));
+        let b = r.path_distribution(NodeId(0), NodeId(2));
+        assert_eq!(a.len(), b.len());
+        for ((p1, w1), (p2, w2)) in a.iter().zip(&b) {
+            assert_eq!(p1, p2);
+            assert!((w1 - w2).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sampling_stays_in_support() {
+        let r = RandomWalkRouting::new(gen::cycle_graph(5), 8, 7);
+        let dist = r.path_distribution(NodeId(0), NodeId(2));
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let p = r.sample_path(NodeId(0), NodeId(2), &mut rng);
+            assert!(dist.iter().any(|(q, _)| *q == p));
+        }
+    }
+
+    use sor_graph::NodeId;
+}

@@ -1,0 +1,143 @@
+//! TE scenarios: topology + traffic endpoints + traffic-matrix generation.
+
+use rand::Rng;
+use sor_flow::{demand, Demand};
+use sor_graph::{gen, Graph, NodeId};
+
+/// A topology with designated traffic endpoints.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Human-readable name for tables.
+    pub name: &'static str,
+    /// The network.
+    pub graph: Graph,
+    /// Vertices that source/sink traffic (all PoPs for WANs, leaves for
+    /// fabrics).
+    pub endpoints: Vec<NodeId>,
+}
+
+impl Scenario {
+    /// The Abilene backbone (all 11 PoPs are endpoints).
+    pub fn abilene() -> Self {
+        let graph = gen::abilene();
+        let endpoints = graph.nodes().collect();
+        Scenario {
+            name: "abilene",
+            graph,
+            endpoints,
+        }
+    }
+
+    /// The B4-like topology (all 12 sites are endpoints).
+    pub fn b4() -> Self {
+        let graph = gen::b4();
+        let endpoints = graph.nodes().collect();
+        Scenario {
+            name: "b4",
+            graph,
+            endpoints,
+        }
+    }
+
+    /// The GEANT-like topology (all 22 nodes are endpoints).
+    pub fn geant() -> Self {
+        let graph = gen::geant();
+        let endpoints = graph.nodes().collect();
+        Scenario {
+            name: "geant",
+            graph,
+            endpoints,
+        }
+    }
+
+    /// The ATT-NA-like topology (all 25 PoPs are endpoints).
+    pub fn att() -> Self {
+        let graph = gen::att();
+        let endpoints = graph.nodes().collect();
+        Scenario {
+            name: "att",
+            graph,
+            endpoints,
+        }
+    }
+
+    /// A leaf–spine Clos fabric; only leaves are endpoints.
+    pub fn clos(spines: usize, leaves: usize) -> Self {
+        let graph = gen::clos(spines, leaves, 1.0);
+        let endpoints = (0..leaves)
+            .map(|i| gen::fattree::clos_leaf(spines, i))
+            .collect();
+        Scenario {
+            name: "clos",
+            graph,
+            endpoints,
+        }
+    }
+
+    /// All ordered endpoint pairs (the pair set schemes install paths
+    /// for).
+    pub fn pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut v = Vec::new();
+        for &s in &self.endpoints {
+            for &t in &self.endpoints {
+                if s != t {
+                    v.push((s, t));
+                }
+            }
+        }
+        v
+    }
+}
+
+/// A gravity-model traffic matrix over the scenario's endpoints with
+/// random masses in `[0.5, 1.5]`, scaled to `total` units.
+pub fn gravity_tm<R: Rng>(scenario: &Scenario, total: f64, rng: &mut R) -> Demand {
+    let masses: Vec<f64> = scenario
+        .endpoints
+        .iter()
+        .map(|_| rng.gen_range(0.5..1.5))
+        .collect();
+    demand::gravity(&scenario.endpoints, &masses, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scenarios_are_connected_with_endpoints() {
+        for sc in [
+            Scenario::abilene(),
+            Scenario::b4(),
+            Scenario::geant(),
+            Scenario::att(),
+            Scenario::clos(3, 5),
+        ] {
+            assert!(sor_graph::is_connected(&sc.graph), "{} disconnected", sc.name);
+            assert!(sc.endpoints.len() >= 2);
+            assert_eq!(
+                sc.pairs().len(),
+                sc.endpoints.len() * (sc.endpoints.len() - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn gravity_tm_spans_endpoints() {
+        let sc = Scenario::abilene();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tm = gravity_tm(&sc, 5.0, &mut rng);
+        assert!((tm.size() - 5.0).abs() < 1e-9);
+        assert_eq!(tm.support_size(), 11 * 10);
+    }
+
+    #[test]
+    fn clos_endpoints_are_leaves() {
+        let sc = Scenario::clos(4, 6);
+        for &e in &sc.endpoints {
+            assert!(e.index() >= 4, "spine listed as endpoint");
+        }
+    }
+}

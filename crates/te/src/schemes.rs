@@ -1,0 +1,166 @@
+//! TE schemes and the comparison harness (experiment E8's machinery).
+
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sor_core::sample::{demand_pairs, sample_k};
+use sor_core::SemiObliviousRouting;
+use sor_flow::{max_concurrent_flow, Demand};
+use sor_oblivious::routing::{fractional_loads, ObliviousRouting};
+use sor_oblivious::{KspRouting, RaeckeRouting};
+
+/// A routing scheme under comparison.
+#[derive(Clone, Copy, Debug)]
+pub enum Scheme {
+    /// The paper/SMORE scheme: sample `s` paths per pair from a Räcke
+    /// routing with `trees` trees, adapt rates to the demand.
+    SemiOblivious {
+        /// Paths per pair.
+        s: usize,
+        /// FRT trees in the Räcke mixture.
+        trees: usize,
+    },
+    /// Adaptive KSP: install the `s` shortest (inverse-capacity) paths per
+    /// pair, adapt rates — SMORE's main practical baseline.
+    Ksp {
+        /// Paths per pair.
+        s: usize,
+    },
+    /// Pure oblivious Räcke: no demand-time adaptation at all.
+    ObliviousRaecke {
+        /// FRT trees in the mixture.
+        trees: usize,
+    },
+    /// The offline multicommodity optimum (the denominator of every
+    /// ratio).
+    OptimalMcf,
+}
+
+impl Scheme {
+    /// Table label.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::SemiOblivious { s, .. } => format!("semi-oblivious(s={s})"),
+            Scheme::Ksp { s } => format!("ksp(s={s})"),
+            Scheme::ObliviousRaecke { .. } => "oblivious-raecke".to_string(),
+            Scheme::OptimalMcf => "optimal".to_string(),
+        }
+    }
+}
+
+/// Result of one (scenario, demand, scheme) run.
+#[derive(Clone, Debug)]
+pub struct SchemeResult {
+    /// Scheme label.
+    pub name: String,
+    /// Max link utilization achieved on the demand.
+    pub mlu: f64,
+    /// `mlu / OPT` where OPT is the MCF optimum's achievable value.
+    pub ratio_vs_opt: f64,
+    /// Installed paths per pair (max), 0 for schemes without installed
+    /// systems.
+    pub sparsity: usize,
+}
+
+/// Run one scheme on a demand. `seed` drives every random choice (Räcke
+/// trees and sampling); `eps` the MWU solvers.
+pub fn run_scheme(
+    scenario: &Scenario,
+    demand: &Demand,
+    scheme: Scheme,
+    seed: u64,
+    eps: f64,
+) -> SchemeResult {
+    let g = &scenario.graph;
+    let opt = max_concurrent_flow(g, demand, eps).congestion_upper;
+    let (mlu, sparsity) = match scheme {
+        Scheme::SemiOblivious { s, trees } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
+            let sampled = sample_k(&base, &demand_pairs(demand), s, &mut rng);
+            let sor = SemiObliviousRouting::new(g.clone(), sampled.system);
+            (sor.congestion(demand, eps), sor.sparsity())
+        }
+        Scheme::Ksp { s } => {
+            let ksp = KspRouting::inv_cap(g.clone(), s);
+            let mut system = sor_core::PathSystem::new();
+            for &(a, b) in &demand_pairs(demand) {
+                for (p, _) in ksp.path_distribution(a, b) {
+                    system.insert(a, b, p);
+                }
+            }
+            let sor = SemiObliviousRouting::new(g.clone(), system);
+            (sor.congestion(demand, eps), sor.sparsity())
+        }
+        Scheme::ObliviousRaecke { trees } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
+            (fractional_loads(&base, demand).congestion(g), 0)
+        }
+        Scheme::OptimalMcf => (opt, 0),
+    };
+    SchemeResult {
+        name: scheme.label(),
+        mlu,
+        ratio_vs_opt: mlu / opt.max(1e-12),
+        sparsity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::gravity_tm;
+
+    #[test]
+    fn ordering_on_abilene() {
+        // The qualitative SMORE result: optimal ≤ semi-oblivious(4) ≲
+        // oblivious, with semi-oblivious close to optimal.
+        let sc = Scenario::abilene();
+        let mut rng = StdRng::seed_from_u64(7);
+        let tm = gravity_tm(&sc, 4.0, &mut rng);
+        let opt = run_scheme(&sc, &tm, Scheme::OptimalMcf, 1, 0.1);
+        let semi = run_scheme(
+            &sc,
+            &tm,
+            Scheme::SemiOblivious { s: 4, trees: 8 },
+            1,
+            0.1,
+        );
+        let obl = run_scheme(&sc, &tm, Scheme::ObliviousRaecke { trees: 8 }, 1, 0.1);
+        assert!((opt.ratio_vs_opt - 1.0).abs() < 1e-9);
+        assert!(semi.ratio_vs_opt >= 1.0 - 0.15, "{}", semi.ratio_vs_opt);
+        assert!(
+            semi.ratio_vs_opt < 3.0,
+            "semi-oblivious ratio {} too large on abilene",
+            semi.ratio_vs_opt
+        );
+        assert!(
+            semi.mlu <= obl.mlu * 1.05 + 1e-9,
+            "adaptation should not lose to pure oblivious: {} vs {}",
+            semi.mlu,
+            obl.mlu
+        );
+        assert!(semi.sparsity <= 4);
+    }
+
+    #[test]
+    fn ksp_runs_and_is_adaptive() {
+        let sc = Scenario::b4();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tm = gravity_tm(&sc, 3.0, &mut rng);
+        let ksp = run_scheme(&sc, &tm, Scheme::Ksp { s: 3 }, 2, 0.1);
+        assert!(ksp.ratio_vs_opt >= 1.0 - 0.15);
+        assert!(ksp.ratio_vs_opt < 5.0, "{}", ksp.ratio_vs_opt);
+        assert!(ksp.sparsity <= 3);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            Scheme::SemiOblivious { s: 4, trees: 8 }.label(),
+            "semi-oblivious(s=4)"
+        );
+        assert_eq!(Scheme::Ksp { s: 2 }.label(), "ksp(s=2)");
+    }
+}

@@ -1,0 +1,56 @@
+//! The Main Lemma's dynamic deletion process (Section 5.3), run live.
+//!
+//! "Pretend to send packets on all candidate paths at once, and delete the
+//! edges that get overcongested": this example runs the process at several
+//! sparsities on a hypercube permutation and prints the survival
+//! statistics the proof's Chernoff/bad-pattern machinery bounds.
+//!
+//! Run: `cargo run --release --example deletion_process`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use semi_oblivious_routing::core::negassoc::chernoff_upper_tail;
+use semi_oblivious_routing::core::process::{deletion_process, weak_failure_rate};
+use semi_oblivious_routing::core::sample::{demand_pairs, sample_k};
+use semi_oblivious_routing::flow::demand::random_permutation;
+use semi_oblivious_routing::graph::gen;
+use semi_oblivious_routing::oblivious::ValiantHypercube;
+
+fn main() {
+    let d = 6;
+    let g = gen::hypercube(d);
+    let base = ValiantHypercube::new(g.clone());
+    let mut rng = StdRng::seed_from_u64(7);
+    let demand = random_permutation(&g, &mut rng);
+    let tau = 2.0;
+    println!(
+        "Q_{d} (n = {}), random permutation demand, congestion threshold τ = {tau}\n",
+        g.num_nodes()
+    );
+
+    println!("single runs (seed 7):");
+    println!(
+        "{:>2} {:>12} {:>14} {:>13}",
+        "k", "overcongested", "survival frac", "weak success"
+    );
+    for k in [1usize, 2, 3, 4, 6, 8] {
+        let sampled = sample_k(&base, &demand_pairs(&demand), k, &mut rng);
+        let out = deletion_process(&g, &sampled, &demand, tau);
+        println!(
+            "{k:>2} {:>12} {:>14.3} {:>13}",
+            out.overcongested.len(),
+            out.survival_fraction(),
+            out.weak_success()
+        );
+    }
+
+    println!("\nMonte-Carlo failure rates (30 trials each) vs the per-edge Chernoff tail:");
+    println!("{:>2} {:>14} {:>14}", "k", "failure rate", "chernoff tail");
+    for k in [1usize, 2, 3, 4, 6] {
+        let rate = weak_failure_rate(&g, &base, &demand, k, tau, 30, 999);
+        let tail = chernoff_upper_tail(0.75 * k as f64, tau * k as f64);
+        println!("{k:>2} {:>14.2} {:>14.3}", rate, tail);
+    }
+    println!("\n→ the failure probability decays exponentially with the sparsity k —");
+    println!("  exactly the mechanism that lets the proof union-bound over all demands.");
+}

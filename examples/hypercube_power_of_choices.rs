@@ -1,0 +1,60 @@
+//! The power of a few random choices on the hypercube.
+//!
+//! The classical story, end to end:
+//!
+//! * one *deterministic* path per pair (greedy bit-fixing) suffers Ω(√N/d)
+//!   congestion on the bit-reversal permutation [KKT91];
+//! * Valiant's randomized trick is O(1)-competitive but needs fresh
+//!   randomness per packet;
+//! * the paper's move — pre-install `s` *sampled* Valiant paths and adapt
+//!   rates after the demand arrives — interpolates: every extra path gives
+//!   a polynomial improvement (competitiveness ~ N^{O(1/s)}).
+//!
+//! Run: `cargo run --release --example hypercube_power_of_choices`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use semi_oblivious_routing::core::sample::{demand_pairs, sample_k};
+use semi_oblivious_routing::core::SemiObliviousRouting;
+use semi_oblivious_routing::flow::{max_concurrent_flow, Demand};
+use semi_oblivious_routing::graph::gen;
+use semi_oblivious_routing::oblivious::routing::oblivious_congestion;
+use semi_oblivious_routing::oblivious::{GreedyBitFix, ValiantHypercube};
+
+fn main() {
+    let d = 8;
+    let g = gen::hypercube(d);
+    let n = g.num_nodes();
+    println!("hypercube Q_{d}: n = {n}, adversarial demand: bit-reversal permutation\n");
+    let demand = Demand::from_pairs(
+        gen::bit_reversal_perm(d)
+            .into_iter()
+            .filter(|(s, t)| s != t),
+    );
+    let opt = max_concurrent_flow(&g, &demand, 0.25).congestion_upper;
+    println!("offline OPT congestion ≈ {opt:.2}\n");
+
+    let greedy = GreedyBitFix::new(g.clone());
+    let cg = oblivious_congestion(&greedy, &demand);
+    println!(
+        "deterministic greedy (1 fixed path/pair): congestion {cg:.1}  (ratio {:.1})  ← the Ω(√N/d) wall",
+        cg / opt
+    );
+
+    let valiant = ValiantHypercube::new(g.clone());
+    println!("\nnow sample s Valiant paths per pair, adapt rates to the demand:");
+    println!("{:>3} {:>12} {:>8} {:>14}", "s", "congestion", "ratio", "shape N^(1/s)");
+    for s in [1usize, 2, 3, 4, 6, 8] {
+        let mut rng = StdRng::seed_from_u64(100 + s as u64);
+        let sampled = sample_k(&valiant, &demand_pairs(&demand), s, &mut rng);
+        let sor = SemiObliviousRouting::new(g.clone(), sampled.system);
+        let c = sor.congestion(&demand, 0.25);
+        println!(
+            "{s:>3} {:>12.2} {:>8.2} {:>14.2}",
+            c,
+            c / opt,
+            (n as f64).powf(1.0 / s as f64)
+        );
+    }
+    println!("\n→ the ratio collapses exponentially in s: a handful of random paths suffice.");
+}

@@ -1,0 +1,69 @@
+//! SMORE-style traffic engineering on the Abilene backbone.
+//!
+//! Reproduces the workflow of [KYF+18]: install a few Räcke-sampled paths
+//! per PoP pair, then adapt sending rates to each traffic matrix; compare
+//! against adaptive KSP, pure oblivious routing, and the MCF optimum —
+//! then fail a link and re-adapt on the surviving candidates.
+//!
+//! Run: `cargo run --release --example traffic_engineering`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use semi_oblivious_routing::te::{
+    failure_experiment, gravity_tm, run_scheme, Scenario, Scheme,
+};
+
+fn main() {
+    let sc = Scenario::abilene();
+    println!(
+        "scenario: {} ({} PoPs, {} links)",
+        sc.name,
+        sc.graph.num_nodes(),
+        sc.graph.num_edges()
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    let tm = gravity_tm(&sc, 4.0, &mut rng);
+    println!(
+        "traffic matrix: gravity model, {} entries, total {:.1} units\n",
+        tm.support_size(),
+        tm.size()
+    );
+
+    println!("{:<24} {:>10} {:>10} {:>9}", "scheme", "MLU", "vs OPT", "paths");
+    for scheme in [
+        Scheme::OptimalMcf,
+        Scheme::SemiOblivious { s: 1, trees: 8 },
+        Scheme::SemiOblivious { s: 2, trees: 8 },
+        Scheme::SemiOblivious { s: 4, trees: 8 },
+        Scheme::Ksp { s: 4 },
+        Scheme::ObliviousRaecke { trees: 8 },
+    ] {
+        let res = run_scheme(&sc, &tm, scheme, 1, 0.1);
+        println!(
+            "{:<24} {:>10.3} {:>10.2} {:>9}",
+            res.name, res.mlu, res.ratio_vs_opt, res.sparsity
+        );
+    }
+
+    println!("\n--- link failure drill (1 random link) ---");
+    match failure_experiment(&sc, &tm, 4, 8, 1, 99, 0.1) {
+        Some(fr) => {
+            println!(
+                "failed link(s): {:?} | post-failure OPT = {:.3}",
+                fr.failed, fr.opt_after
+            );
+            println!(
+                "semi-oblivious (rates re-optimized on surviving paths): MLU {:.3} (ratio {:.2})",
+                fr.semi_mlu,
+                fr.semi_ratio()
+            );
+            println!(
+                "oblivious (distribution renormalized only):             MLU {:.3} (ratio {:.2})",
+                fr.oblivious_mlu,
+                fr.oblivious_ratio()
+            );
+            println!("pairs needing an emergency fallback path: {}", fr.fallback_pairs);
+        }
+        None => println!("no connected failure set found"),
+    }
+}

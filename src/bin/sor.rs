@@ -1,0 +1,156 @@
+//! `sor` — command-line front end to the semi-oblivious routing library.
+//!
+//! ```text
+//! sor info  --graph <spec> [--seed N]
+//! sor eval  --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]
+//! sor sweep --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]
+//! ```
+//!
+//! Graph specs: `hypercube:8`, `grid:5x5`, `expander:64x4`, `abilene`,
+//! `twostar:4x12`, … (see `semi_oblivious_routing::cli::parse_graph`).
+//! Demand specs: `perm`, `bitrev`, `gravity:4`, `pairs:10`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use semi_oblivious_routing::cli::{flag_parse, flag_value, parse_demand, parse_graph};
+use semi_oblivious_routing::core::sample::{demand_pairs, sample_k};
+use semi_oblivious_routing::core::SemiObliviousRouting;
+use semi_oblivious_routing::flow::max_concurrent_flow;
+use semi_oblivious_routing::graph::{
+    articulation_points, bridges, diameter, global_min_cut, spectral_gap,
+};
+use semi_oblivious_routing::oblivious::RaeckeRouting;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  sor info    --graph <spec> [--seed N]\n  sor eval    --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor sweep   --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]\n  sor export  --graph <spec> [--s K] [--trees T] [--demand spec] [--seed N]\n  sor process --graph <spec> [--s K] [--tau T] [--demand spec] [--seed N]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        usage()
+    };
+    let seed: u64 = flag_parse(&args, "--seed", 42);
+    let Some(gspec) = flag_value(&args, "--graph") else {
+        usage()
+    };
+    let g = match parse_graph(gspec, seed) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2)
+        }
+    };
+
+    match cmd {
+        "info" => {
+            println!("graph {gspec}: n = {}, m = {}", g.num_nodes(), g.num_edges());
+            println!("  diameter        : {}", diameter(&g));
+            println!("  global min cut  : {:.2}", global_min_cut(&g));
+            println!("  bridges         : {}", bridges(&g).len());
+            println!("  articulation pts: {}", articulation_points(&g).len());
+            println!("  spectral gap    : {:.4}", spectral_gap(&g, 300));
+        }
+        "export" => {
+            // Build and print the installable artifact: topology + sampled
+            // candidate path system, in the portable text format.
+            let trees: usize = flag_parse(&args, "--trees", 8);
+            let s: usize = flag_parse(&args, "--s", 4);
+            let dspec = flag_value(&args, "--demand").unwrap_or("perm");
+            let demand = match parse_demand(dspec, &g, seed) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    exit(2)
+                }
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
+            let sampled = sample_k(&base, &demand_pairs(&demand), s, &mut rng);
+            print!("{}", semi_oblivious_routing::graph::graph_to_text(&g));
+            print!(
+                "{}",
+                semi_oblivious_routing::core::system_to_text(&sampled.system)
+            );
+        }
+        "process" => {
+            // Run the Main Lemma's deletion process once and print its
+            // statistics (Section 5.3, live).
+            let s: usize = flag_parse(&args, "--s", 4);
+            let tau: f64 = flag_parse(&args, "--tau", 2.0);
+            let trees: usize = flag_parse(&args, "--trees", 8);
+            let dspec = flag_value(&args, "--demand").unwrap_or("perm");
+            let demand = match parse_demand(dspec, &g, seed) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    exit(2)
+                }
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
+            let sampled = semi_oblivious_routing::core::sample::sample_k(
+                &base,
+                &demand_pairs(&demand),
+                s,
+                &mut rng,
+            );
+            let out = semi_oblivious_routing::core::process::deletion_process(
+                &g, &sampled, &demand, tau,
+            );
+            println!(
+                "deletion process on {gspec} | demand {dspec} ({} pairs) | s = {s}, tau = {tau}",
+                demand.support_size()
+            );
+            println!("  total weight        : {:.3}", out.total_weight);
+            println!("  survived weight     : {:.3}", out.survived_weight);
+            println!("  survival fraction   : {:.3}", out.survival_fraction());
+            println!("  overcongested edges : {}", out.overcongested.len());
+            println!("  weak success (>=half): {}", out.weak_success());
+        }
+        "eval" | "sweep" => {
+            let eps: f64 = flag_parse(&args, "--eps", 0.15);
+            let trees: usize = flag_parse(&args, "--trees", 8);
+            let dspec = flag_value(&args, "--demand").unwrap_or("perm");
+            let demand = match parse_demand(dspec, &g, seed) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    exit(2)
+                }
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
+            let opt = max_concurrent_flow(&g, &demand, eps);
+            println!(
+                "graph {gspec} | demand {dspec} ({} pairs, |D| = {:.1}) | OPT in [{:.3}, {:.3}]",
+                demand.support_size(),
+                demand.size(),
+                opt.congestion_lower,
+                opt.congestion_upper
+            );
+            let svals: Vec<usize> = if cmd == "eval" {
+                vec![flag_parse(&args, "--s", 4)]
+            } else {
+                let max_s: usize = flag_parse(&args, "--max-s", 8);
+                (1..=max_s).collect()
+            };
+            println!("{:>3} {:>12} {:>10}", "s", "congestion", "ratio");
+            for s in svals {
+                let sampled = sample_k(&base, &demand_pairs(&demand), s, &mut rng);
+                let sor = SemiObliviousRouting::new(g.clone(), sampled.system);
+                let c = sor.congestion(&demand, eps);
+                println!(
+                    "{s:>3} {:>12.3} {:>10.2}",
+                    c,
+                    c / opt.congestion_upper.max(1e-12)
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,197 @@
+//! Helpers for the `sor` command-line tool: graph/demand specification
+//! parsing and the little evaluation drivers the subcommands share.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sor_flow::{demand, Demand};
+use sor_graph::{gen, Graph};
+
+/// Parse a graph specification string.
+///
+/// Accepted forms:
+/// `hypercube:D`, `grid:RxC`, `torus:RxC`, `cycle:N`, `path:N`,
+/// `complete:N`, `star:N`, `expander:NxD` (random regular, seeded),
+/// `clos:SxL`, `dumbbell:KxB`, `twostar:RxM`, `smallworld:NxK` (β = 0.2,
+/// seeded), `abilene`, `att`, `b4`, `geant`.
+pub fn parse_graph(spec: &str, seed: u64) -> Result<Graph, String> {
+    let (name, arg) = match spec.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (spec, None),
+    };
+    let one = |a: Option<&str>| -> Result<usize, String> {
+        a.ok_or_else(|| format!("'{name}' needs a size argument, e.g. {name}:8"))?
+            .parse()
+            .map_err(|_| format!("bad size in '{spec}'"))
+    };
+    let two = |a: Option<&str>| -> Result<(usize, usize), String> {
+        let a = a.ok_or_else(|| format!("'{name}' needs AxB arguments"))?;
+        let (x, y) = a
+            .split_once('x')
+            .ok_or_else(|| format!("'{spec}': expected AxB"))?;
+        Ok((
+            x.parse().map_err(|_| format!("bad number in '{spec}'"))?,
+            y.parse().map_err(|_| format!("bad number in '{spec}'"))?,
+        ))
+    };
+    Ok(match name {
+        "hypercube" => gen::hypercube(one(arg)?),
+        "cycle" => gen::cycle_graph(one(arg)?),
+        "path" => gen::path_graph(one(arg)?),
+        "complete" => gen::complete_graph(one(arg)?),
+        "star" => gen::star(one(arg)?),
+        "grid" => {
+            let (r, c) = two(arg)?;
+            gen::grid(r, c)
+        }
+        "torus" => {
+            let (r, c) = two(arg)?;
+            gen::torus(r, c)
+        }
+        "expander" => {
+            let (n, d) = two(arg)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            gen::random_regular(n, d, &mut rng)
+        }
+        "smallworld" => {
+            let (n, k) = two(arg)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            gen::watts_strogatz(n, k, 0.2, &mut rng)
+        }
+        "clos" => {
+            let (s, l) = two(arg)?;
+            gen::clos(s, l, 1.0)
+        }
+        "dumbbell" => {
+            let (k, b) = two(arg)?;
+            gen::dumbbell(k, b)
+        }
+        "twostar" => {
+            let (r, m) = two(arg)?;
+            gen::two_star(r, m)
+        }
+        "abilene" => gen::abilene(),
+        "att" => gen::att(),
+        "b4" => gen::b4(),
+        "geant" => gen::geant(),
+        other => return Err(format!("unknown graph '{other}'")),
+    })
+}
+
+/// Parse a demand specification: `perm` (random permutation), `bitrev`
+/// (hypercubes only), `gravity:T` (total T over all vertices), `pairs:K`
+/// (K random unit pairs), `file:PATH` (text format of
+/// `sor_flow::io::demand_to_text`).
+pub fn parse_demand(spec: &str, g: &Graph, seed: u64) -> Result<Demand, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (name, arg) = match spec.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (spec, None),
+    };
+    Ok(match name {
+        "file" => {
+            let path = arg.ok_or("file needs a path, e.g. file:tm.txt")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read '{path}': {e}"))?;
+            sor_flow::demand_from_text(&text, g.num_nodes())?
+        }
+        "perm" => demand::random_permutation(g, &mut rng),
+        "bitrev" => {
+            let d = gen::hypercube::dim_of(g.num_nodes())
+                .ok_or("bitrev demand needs a hypercube graph")?;
+            Demand::from_pairs(
+                gen::bit_reversal_perm(d)
+                    .into_iter()
+                    .filter(|(s, t)| s != t),
+            )
+        }
+        "gravity" => {
+            let total: f64 = arg
+                .ok_or("gravity needs a total, e.g. gravity:4")?
+                .parse()
+                .map_err(|_| "bad gravity total")?;
+            let endpoints: Vec<_> = g.nodes().collect();
+            let masses = vec![1.0; endpoints.len()];
+            demand::gravity(&endpoints, &masses, total)
+        }
+        "pairs" => {
+            let k: usize = arg
+                .ok_or("pairs needs a count, e.g. pairs:10")?
+                .parse()
+                .map_err(|_| "bad pair count")?;
+            demand::random_matching(g, k.min(g.num_nodes() / 2), &mut rng)
+        }
+        other => return Err(format!("unknown demand '{other}'")),
+    })
+}
+
+/// Fetch the value following `--flag`, if present.
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parse `--flag <v>` with a default.
+pub fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    flag_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_graph_specs() {
+        assert_eq!(parse_graph("hypercube:4", 0).unwrap().num_nodes(), 16);
+        assert_eq!(parse_graph("grid:3x4", 0).unwrap().num_nodes(), 12);
+        assert_eq!(parse_graph("abilene", 0).unwrap().num_nodes(), 11);
+        assert_eq!(parse_graph("expander:20x3", 1).unwrap().num_edges(), 30);
+        assert_eq!(parse_graph("twostar:2x3", 0).unwrap().num_nodes(), 2 + 2 + 6);
+        assert!(parse_graph("bogus", 0).is_err());
+        assert!(parse_graph("grid:3", 0).is_err());
+        assert!(parse_graph("hypercube", 0).is_err());
+    }
+
+    #[test]
+    fn parses_demand_specs() {
+        let g = parse_graph("hypercube:3", 0).unwrap();
+        assert!(parse_demand("perm", &g, 1).unwrap().is_permutation());
+        let br = parse_demand("bitrev", &g, 1).unwrap();
+        assert!(br.support_size() > 0);
+        let gr = parse_demand("gravity:2", &g, 1).unwrap();
+        assert!((gr.size() - 2.0).abs() < 1e-9);
+        let pr = parse_demand("pairs:3", &g, 1).unwrap();
+        assert_eq!(pr.support_size(), 3);
+        assert!(parse_demand("bogus", &g, 1).is_err());
+        let grid = parse_graph("grid:3x3", 0).unwrap();
+        assert!(parse_demand("bitrev", &grid, 1).is_err());
+    }
+
+    #[test]
+    fn demand_from_file() {
+        let g = parse_graph("cycle:4", 0).unwrap();
+        let dir = std::env::temp_dir().join("sor-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tm.txt");
+        std::fs::write(&path, "demand 1\nflow 0 2 1.5\n").unwrap();
+        let spec = format!("file:{}", path.display());
+        let d = parse_demand(&spec, &g, 0).unwrap();
+        assert!((d.size() - 1.5).abs() < 1e-12);
+        assert!(parse_demand("file:/nonexistent/x.txt", &g, 0).is_err());
+    }
+
+    #[test]
+    fn flag_helpers() {
+        let args: Vec<String> = ["--s", "4", "--eps", "0.2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--s"), Some("4"));
+        assert_eq!(flag_parse(&args, "--s", 1usize), 4);
+        assert_eq!(flag_parse(&args, "--missing", 7usize), 7);
+        assert!((flag_parse(&args, "--eps", 0.1f64) - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,60 @@
+//! Integration test: the full export/install round trip across crates —
+//! a semi-oblivious system serialized to the portable text formats,
+//! reloaded, and verified to route identically.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use semi_oblivious_routing::core::sample::{demand_pairs, sample_k};
+use semi_oblivious_routing::core::{system_from_text, system_to_text, SemiObliviousRouting};
+use semi_oblivious_routing::flow::{demand_from_text, demand_to_text};
+use semi_oblivious_routing::graph::{gen, graph_from_text, graph_to_text};
+use semi_oblivious_routing::oblivious::RaeckeRouting;
+
+#[test]
+fn export_install_round_trip_preserves_routing() {
+    // Build a complete installable artifact…
+    let g = gen::abilene();
+    let mut rng = StdRng::seed_from_u64(17);
+    let base = RaeckeRouting::build(g.clone(), 6, &mut rng);
+    let tm = semi_oblivious_routing::te::gravity_tm(
+        &semi_oblivious_routing::te::Scenario::abilene(),
+        3.0,
+        &mut rng,
+    );
+    let sampled = sample_k(&base, &demand_pairs(&tm), 4, &mut rng);
+
+    // …serialize all three pieces…
+    let g_text = graph_to_text(&g);
+    let sys_text = system_to_text(&sampled.system);
+    let tm_text = demand_to_text(&tm);
+
+    // …reload on the "other side"…
+    let g2 = graph_from_text(&g_text).expect("graph round trip");
+    let sys2 = system_from_text(&g2, &sys_text).expect("system round trip");
+    let tm2 = demand_from_text(&tm_text, g2.num_nodes()).expect("demand round trip");
+
+    // …and verify the reloaded controller routes identically.
+    let sor1 = SemiObliviousRouting::new(g, sampled.system);
+    let sor2 = SemiObliviousRouting::new(g2, sys2);
+    let c1 = sor1.congestion(&tm, 0.15);
+    let c2 = sor2.congestion(&tm2, 0.15);
+    assert_eq!(
+        c1.to_bits(),
+        c2.to_bits(),
+        "reloaded system routes differently: {c1} vs {c2}"
+    );
+}
+
+#[test]
+fn corrupted_artifacts_are_rejected() {
+    let g = gen::cycle_graph(6);
+    let mut rng = StdRng::seed_from_u64(1);
+    let base = RaeckeRouting::build(g.clone(), 3, &mut rng);
+    let dm = semi_oblivious_routing::flow::demand::random_matching(&g, 2, &mut rng);
+    let sampled = sample_k(&base, &demand_pairs(&dm), 2, &mut rng);
+    let sys_text = system_to_text(&sampled.system);
+
+    // install against the wrong topology → must be rejected, not mangled
+    let wrong = gen::path_graph(6);
+    assert!(system_from_text(&wrong, &sys_text).is_err());
+}

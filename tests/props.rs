@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, exercised across randomly generated graphs and demands.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use semi_oblivious_routing::core::process::deletion_process;
+use semi_oblivious_routing::core::sample::{demand_pairs, sample_k};
+use semi_oblivious_routing::core::{PathSystem, SemiObliviousRouting};
+use semi_oblivious_routing::flow::{Demand, EdgeLoads};
+use semi_oblivious_routing::graph::{gen, yen_ksp, Graph, NodeId};
+use semi_oblivious_routing::oblivious::KspRouting;
+use semi_oblivious_routing::sched::{simulate, Policy};
+
+/// A random connected graph from a seed: ER with p chosen comfortably
+/// above the connectivity threshold.
+fn arb_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = (2.5 * (n as f64).ln() / n as f64).min(0.9);
+    gen::erdos_renyi_connected(n, p, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Yen's paths are valid, simple, distinct, and sorted by length.
+    #[test]
+    fn ksp_paths_valid_distinct_sorted(seed in 0u64..500, n in 6usize..14, k in 1usize..6) {
+        let g = arb_graph(n, seed);
+        let s = NodeId(0);
+        let t = NodeId((n - 1) as u32);
+        let len = g.unit_lengths();
+        let paths = yen_ksp(&g, s, t, k, &len);
+        prop_assert!(!paths.is_empty());
+        prop_assert!(paths.len() <= k);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].length(&len) <= w[1].length(&len) + 1e-9);
+            prop_assert!(w[0] != w[1]);
+        }
+        for p in &paths {
+            prop_assert!(p.validate(&g));
+            prop_assert_eq!(p.source(), s);
+            prop_assert_eq!(p.target(), t);
+        }
+    }
+
+    /// Sampling never exceeds the sparsity budget and always covers the
+    /// requested pairs with valid paths.
+    #[test]
+    fn sampling_respects_sparsity(seed in 0u64..500, n in 6usize..12, k in 1usize..7) {
+        let g = arb_graph(n, seed);
+        let base = KspRouting::new(g.clone(), 4);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let pairs = vec![(NodeId(0), NodeId((n - 1) as u32)), (NodeId(1), NodeId(2))];
+        let sampled = sample_k(&base, &pairs, k, &mut rng);
+        prop_assert!(sampled.system.sparsity() <= k);
+        prop_assert!(sampled.system.validate(&g));
+        for &(s, t) in &pairs {
+            prop_assert!(sampled.system.covers(s, t));
+            prop_assert_eq!(sampled.draws(s, t), k);
+        }
+    }
+
+    /// More candidates can only help (up to MWU solver noise): congestion
+    /// of a union system is at most that of either component, within the
+    /// solver's (1+O(ε)) slack.
+    #[test]
+    fn union_system_no_worse(seed in 0u64..200, n in 6usize..12) {
+        let g = arb_graph(n, seed);
+        let base = KspRouting::new(g.clone(), 6);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let dm = Demand::from_pairs([(NodeId(0), NodeId((n - 1) as u32))]);
+        let pairs = demand_pairs(&dm);
+        let a = sample_k(&base, &pairs, 2, &mut rng).system;
+        let b = sample_k(&base, &pairs, 2, &mut rng).system;
+        let u = a.union(&b);
+        let eps = 0.1;
+        let ca = SemiObliviousRouting::new(g.clone(), a).congestion(&dm, eps);
+        let cb = SemiObliviousRouting::new(g.clone(), b).congestion(&dm, eps);
+        let cu = SemiObliviousRouting::new(g.clone(), u).congestion(&dm, eps);
+        prop_assert!(cu <= ca.min(cb) * 1.35 + 1e-9,
+            "union congestion {} vs components {} / {}", cu, ca, cb);
+    }
+
+    /// Deletion-process bookkeeping: survived + deleted = total, and every
+    /// overcongested edge ends with zero load.
+    #[test]
+    fn process_accounting(seed in 0u64..300, n in 6usize..12, tau in 0.2f64..3.0) {
+        let g = arb_graph(n, seed);
+        let base = KspRouting::new(g.clone(), 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1111);
+        let dm = Demand::from_pairs([
+            (NodeId(0), NodeId((n - 1) as u32)),
+            (NodeId(1), NodeId((n - 2) as u32)),
+        ]);
+        let sampled = sample_k(&base, &demand_pairs(&dm), 3, &mut rng);
+        let out = deletion_process(&g, &sampled, &dm, tau);
+        let deleted: f64 = out.deleted_at.iter().sum();
+        prop_assert!((out.total_weight - out.survived_weight - deleted).abs() < 1e-9);
+        for &e in &out.overcongested {
+            prop_assert!(out.final_loads.load(e) < 1e-9);
+        }
+        prop_assert!(out.survival_fraction() >= 0.0 && out.survival_fraction() <= 1.0 + 1e-12);
+    }
+
+    /// Scheduler sandwich: lower bound ≤ makespan ≤ (C+1)(D+1) envelope,
+    /// for all three policies.
+    #[test]
+    fn scheduler_sandwich(seed in 0u64..300, n in 6usize..12, packets in 1usize..8) {
+        let g = arb_graph(n, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2222);
+        let dm = semi_oblivious_routing::flow::demand::random_one_demand(&g, packets, &mut rng);
+        let routes: Vec<_> = dm
+            .entries()
+            .iter()
+            .map(|&(s, t, _)| semi_oblivious_routing::graph::bfs_path(&g, s, t).unwrap())
+            .collect();
+        for policy in [
+            Policy::Fifo,
+            Policy::RandomPriority { seed },
+            Policy::RandomDelay { seed, max_delay: 3 },
+        ] {
+            let r = simulate(&g, &routes, policy);
+            prop_assert!(r.makespan >= r.lower_bound());
+            let envelope = (r.congestion + 1.0) * (r.dilation as f64 + 1.0) + 3.0;
+            prop_assert!((r.makespan as f64) <= envelope,
+                "makespan {} > envelope {}", r.makespan, envelope);
+        }
+    }
+
+    /// Demand algebra: `plus` and `scaled` behave like pointwise ops.
+    #[test]
+    fn demand_algebra(amount in 0.01f64..10.0, factor in 0.0f64..4.0) {
+        let d = Demand::from_triples([
+            (NodeId(0), NodeId(1), amount),
+            (NodeId(2), NodeId(3), 1.0),
+        ]);
+        let sum = d.plus(&d);
+        prop_assert!((sum.size() - 2.0 * d.size()).abs() < 1e-9);
+        let sc = d.scaled(factor);
+        prop_assert!((sc.size() - factor * d.size()).abs() < 1e-9);
+        let (a, b) = d.partition(|_, _, x| x >= 1.0);
+        prop_assert!((a.size() + b.size() - d.size()).abs() < 1e-12);
+    }
+
+    /// EdgeLoads arithmetic is consistent with per-path accounting.
+    #[test]
+    fn loads_arithmetic(seed in 0u64..200, n in 6usize..12, w in 0.1f64..5.0) {
+        let g = arb_graph(n, seed);
+        let p = semi_oblivious_routing::graph::bfs_path(&g, NodeId(0), NodeId((n - 1) as u32)).unwrap();
+        let mut l = EdgeLoads::for_graph(&g);
+        l.add_path(&p, w);
+        prop_assert!((l.total() - w * p.hops() as f64).abs() < 1e-9);
+        l.add_path(&p, -w);
+        prop_assert!(l.max_load() < 1e-9);
+    }
+
+    /// PathSystem failure filtering removes exactly the crossing paths.
+    #[test]
+    fn failure_filtering(seed in 0u64..200, n in 6usize..12) {
+        let g = arb_graph(n, seed);
+        let base = KspRouting::new(g.clone(), 4);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3333);
+        let pairs = vec![(NodeId(0), NodeId((n - 1) as u32))];
+        let system = sample_k(&base, &pairs, 4, &mut rng).system;
+        let dead = semi_oblivious_routing::graph::EdgeId(0);
+        let filtered = system.without_edges(&[dead]);
+        for (_, _, paths) in filtered.pairs() {
+            for p in paths {
+                prop_assert!(!p.contains_edge(dead));
+            }
+        }
+        prop_assert!(filtered.total_paths() <= system.total_paths());
+    }
+}
+
+/// Non-proptest sanity: PathSystem dedups and unions correctly on a fixed
+/// instance (kept here so the file tests the type directly too).
+#[test]
+fn path_system_dedup_union_fixed() {
+    let g = gen::cycle_graph(6);
+    let paths = yen_ksp(&g, NodeId(0), NodeId(3), 2, &g.unit_lengths());
+    let mut a = PathSystem::new();
+    assert!(a.insert(NodeId(0), NodeId(3), paths[0].clone()));
+    assert!(!a.insert(NodeId(0), NodeId(3), paths[0].clone()));
+    let mut b = PathSystem::new();
+    b.insert(NodeId(0), NodeId(3), paths[1].clone());
+    let u = a.union(&b);
+    assert_eq!(u.paths(NodeId(0), NodeId(3)).len(), 2);
+}
