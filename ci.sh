@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, clippy (workspace lints), the sor-check
+# lint driver, and the test suite. Everything runs against the vendored
+# dependencies under vendor/ — no network, no registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace (deny unwrap_used via [workspace.lints])"
+cargo clippy --workspace --all-targets
+
+echo "==> sor-check (repo lint rules)"
+cargo run -q -p sor-check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1) and workspace tests"
+cargo test -q
+cargo test -q --workspace
+
+echo "CI OK"

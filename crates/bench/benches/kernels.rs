@@ -19,9 +19,7 @@ use sor_sched::{simulate, Policy};
 fn bench_graph_kernels(c: &mut Criterion) {
     let g = gen::hypercube(8);
     let len = g.unit_lengths();
-    c.bench_function("dijkstra_q8", |b| {
-        b.iter(|| dijkstra(&g, NodeId(0), &len))
-    });
+    c.bench_function("dijkstra_q8", |b| b.iter(|| dijkstra(&g, NodeId(0), &len)));
     c.bench_function("dinic_maxflow_q8", |b| {
         b.iter(|| max_flow(&g, NodeId(0), NodeId(255)))
     });

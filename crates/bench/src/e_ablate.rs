@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use sor_core::sample::{demand_pairs, sample_k};
 use sor_core::special::{bucketize, dominating_special};
 use sor_core::SemiObliviousRouting;
-use sor_flow::demand::{random_permutation, random_integral_demand};
+use sor_flow::demand::{random_integral_demand, random_permutation};
 use sor_flow::{max_concurrent_flow, EdgeLoads};
 use sor_graph::gen;
 use sor_oblivious::routing::oblivious_congestion;
@@ -52,10 +52,18 @@ pub fn e10_sampling_source(quick: bool) -> Table {
         t.row(vec![name.to_string(), s.to_string(), f(mean), f(worst)]);
     };
 
-    eval_source("raecke", &|rng, pairs| sample_k(&raecke, pairs, s, rng).system);
-    eval_source("uniform-ksp(8)", &|rng, pairs| sample_k(&ksp, pairs, s, rng).system);
-    eval_source("random-walk", &|rng, pairs| sample_k(&walk, pairs, s, rng).system);
-    eval_source("electrical", &|rng, pairs| sample_k(&electrical, pairs, s, rng).system);
+    eval_source("raecke", &|rng, pairs| {
+        sample_k(&raecke, pairs, s, rng).system
+    });
+    eval_source("uniform-ksp(8)", &|rng, pairs| {
+        sample_k(&ksp, pairs, s, rng).system
+    });
+    eval_source("random-walk", &|rng, pairs| {
+        sample_k(&walk, pairs, s, rng).system
+    });
+    eval_source("electrical", &|rng, pairs| {
+        sample_k(&electrical, pairs, s, rng).system
+    });
     t.note("the theorem needs a competitive base routing; on small well-connected graphs naive\n        diversity can suffice — the separation appears on structured instances (E3, E5)");
     t
 }
@@ -90,7 +98,11 @@ pub fn e11_bucketing(quick: bool) -> Table {
     let sor = SemiObliviousRouting::new(g.clone(), sampled.system.clone());
 
     let direct = sor.congestion(&demand, eps);
-    t.row(vec!["direct (MWU on full demand)".into(), f(direct), f(1.0)]);
+    t.row(vec![
+        "direct (MWU on full demand)".into(),
+        f(direct),
+        f(1.0),
+    ]);
 
     // Bucketed: split by ratio, dominate each bucket by a special demand,
     // route buckets independently, add loads.
@@ -104,7 +116,10 @@ pub fn e11_bucketing(quick: bool) -> Table {
     }
     let bucketed = loads.congestion(&g);
     t.row(vec![
-        format!("bucketed ({} buckets, dominated)", buckets.iter().filter(|b| b.support_size() > 0).count()),
+        format!(
+            "bucketed ({} buckets, dominated)",
+            buckets.iter().filter(|b| b.support_size() > 0).count()
+        ),
         f(bucketed),
         f(bucketed / direct.max(1e-12)),
     ]);
@@ -136,7 +151,8 @@ pub fn e12_raecke_quality(quick: bool) -> Table {
     let tree_counts: &[usize] = if quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16] };
     let demand_seeds: u64 = if quick { 2 } else { 3 };
     let eps = 0.2;
-    type RoutingFactory<'a> = &'a dyn Fn(usize) -> Box<dyn sor_oblivious::routing::ObliviousRouting>;
+    type RoutingFactory<'a> =
+        &'a dyn Fn(usize) -> Box<dyn sor_oblivious::routing::ObliviousRouting>;
     let mut measure = |name: &str, r: RoutingFactory<'_>, g: &sor_graph::Graph, trees: usize| {
         let routing = r(trees);
         let mut worst: f64 = 0.0;

@@ -17,7 +17,14 @@ use sor_te::{churn_experiment, gravity_tm, Scenario};
 pub fn e13_churn(quick: bool) -> Table {
     let mut t = Table::new(
         "E13 path churn under TM drift (semi-oblivious vs re-solved MCF)",
-        &["scenario", "steps", "jitter", "semi MLU ratio", "semi path churn", "MCF path churn"],
+        &[
+            "scenario",
+            "steps",
+            "jitter",
+            "semi MLU ratio",
+            "semi path churn",
+            "MCF path churn",
+        ],
     );
     let scenarios = if quick {
         vec![Scenario::abilene()]
@@ -26,7 +33,11 @@ pub fn e13_churn(quick: bool) -> Table {
     };
     let steps = if quick { 4 } else { 8 };
     for sc in &scenarios {
-        for &jitter in if quick { &[0.3][..] } else { &[0.1, 0.3, 0.5][..] } {
+        for &jitter in if quick {
+            &[0.3][..]
+        } else {
+            &[0.1, 0.3, 0.5][..]
+        } {
             let mut rng = StdRng::seed_from_u64(11);
             let tm = gravity_tm(sc, 3.0, &mut rng);
             let res = churn_experiment(sc, &tm, steps, jitter, 4, 8, 21, 0.15);
@@ -52,7 +63,14 @@ pub fn e13_churn(quick: bool) -> Table {
 pub fn e14_rounding_gap(quick: bool) -> Table {
     let mut t = Table::new(
         "E14 rounding gap (Lemma 6.3): integral vs fractional congestion",
-        &["graph", "m", "frac cong", "int cong", "additive gap", "ln m"],
+        &[
+            "graph",
+            "m",
+            "frac cong",
+            "int cong",
+            "additive gap",
+            "ln m",
+        ],
     );
     let dims: &[usize] = if quick { &[4, 5] } else { &[4, 5, 6, 7] };
     for &d in dims {
@@ -132,7 +150,9 @@ pub fn e15_scheduling(quick: bool) -> Table {
             r.lower_bound().to_string(),
         ]);
     }
-    t.note(format!("Q_{d}, greedy shortest routes of the bit-reversal permutation"));
+    t.note(format!(
+        "Q_{d}, greedy shortest routes of the bit-reversal permutation"
+    ));
     t.note("all policies land within a small constant of the C/D floor");
     t
 }
@@ -147,20 +167,19 @@ pub fn e16_integral(quick: bool) -> Table {
     use sor_oblivious::KspRouting;
     let mut t = Table::new(
         "E16 integral semi-oblivious vs exact integral OPT (Sec 6)",
-        &["graph", "pairs", "s", "semi int cong", "exact int OPT", "ratio"],
+        &[
+            "graph",
+            "pairs",
+            "s",
+            "semi int cong",
+            "exact int OPT",
+            "ratio",
+        ],
     );
     type Case = (&'static str, sor_graph::Graph, Vec<(u32, u32)>);
     let cases: Vec<Case> = vec![
-        (
-            "cycle8",
-            gen::cycle_graph(8),
-            vec![(0, 4), (1, 5), (2, 6)],
-        ),
-        (
-            "grid3x3",
-            gen::grid(3, 3),
-            vec![(0, 8), (2, 6), (1, 7)],
-        ),
+        ("cycle8", gen::cycle_graph(8), vec![(0, 4), (1, 5), (2, 6)]),
+        ("grid3x3", gen::grid(3, 3), vec![(0, 8), (2, 6), (1, 7)]),
         (
             "twostar(3,4)",
             gen::two_star(3, 4),
@@ -169,11 +188,7 @@ pub fn e16_integral(quick: bool) -> Table {
     ];
     let svals: &[usize] = if quick { &[2] } else { &[1, 2, 3] };
     for (name, g, pairs) in &cases {
-        let demand = Demand::from_pairs(
-            pairs
-                .iter()
-                .map(|&(a, b)| (NodeId(a), NodeId(b))),
-        );
+        let demand = Demand::from_pairs(pairs.iter().map(|&(a, b)| (NodeId(a), NodeId(b))));
         for &s in svals {
             let base = KspRouting::new(g.clone(), 3);
             let mut rng = StdRng::seed_from_u64(40 + s as u64);
@@ -204,7 +219,13 @@ pub fn e17_packet_level(quick: bool) -> Table {
     use sor_sched::{simulate_released, Policy};
     let mut t = Table::new(
         "E17 packet-level simulation of adapted rates vs single-path",
-        &["scheme", "packets", "makespan", "mean latency", "max(C,D) floor"],
+        &[
+            "scheme",
+            "packets",
+            "makespan",
+            "mean latency",
+            "max(C,D) floor",
+        ],
     );
     // p parallel 3-hop s-t paths: single-path forwarding queues the whole
     // burst on one path; adapted rates spread it across all p.
@@ -373,12 +394,7 @@ pub fn e20_adversarial_search(quick: bool) -> Table {
             }
             let rand_mean = rand_sum / trials as f64;
             let (_, searched) = search_hard_demand(&sor, *k, eps, iters, &mut rng);
-            t.row(vec![
-                name.clone(),
-                s.to_string(),
-                f(rand_mean),
-                f(searched),
-            ]);
+            t.row(vec![name.clone(), s.to_string(), f(rand_mean), f(searched)]);
         }
     }
     t.note("search: greedy hill-climb over matchings (swap/redirect/reverse moves)");

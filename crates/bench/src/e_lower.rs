@@ -21,7 +21,17 @@ use sor_sched::{simulate, Policy};
 pub fn e5_lower_bound(quick: bool) -> Table {
     let mut t = Table::new(
         "E5 two-star lower bound (Lemma 8.1)",
-        &["r (middles)", "m (leaves)", "s", "matched q", "|S|", "certified cong", "OPT", "ratio", "theory r/s"],
+        &[
+            "r (middles)",
+            "m (leaves)",
+            "s",
+            "matched q",
+            "|S|",
+            "certified cong",
+            "OPT",
+            "ratio",
+            "theory r/s",
+        ],
     );
     let rs: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4, 6] };
     for &r in rs {
@@ -165,7 +175,12 @@ pub fn e6_completion_time(quick: bool) -> Table {
 pub fn e7_deletion_process(quick: bool) -> Table {
     let mut t = Table::new(
         "E7 dynamic deletion process: weak-routing failure vs sparsity (Sec 5.3)",
-        &["k", "tau", "measured failure rate", "per-edge Chernoff tail"],
+        &[
+            "k",
+            "tau",
+            "measured failure rate",
+            "per-edge Chernoff tail",
+        ],
     );
     let d = if quick { 5 } else { 6 };
     let g = gen::hypercube(d);
@@ -186,9 +201,16 @@ pub fn e7_deletion_process(quick: bool) -> Table {
         // Main Lemma's mechanism; the full bad-pattern union bound is
         // what turns it into a w.h.p. statement.
         let per_edge = chernoff_upper_tail(mu_per_draw * k as f64, tau * k as f64);
-        t.row(vec![k.to_string(), f(tau), f(rate), format!("{per_edge:.3}")]);
+        t.row(vec![
+            k.to_string(),
+            f(tau),
+            f(rate),
+            format!("{per_edge:.3}"),
+        ]);
     }
-    t.note(format!("Q_{d}, random permutation demand, {trials} trials/row"));
+    t.note(format!(
+        "Q_{d}, random permutation demand, {trials} trials/row"
+    ));
     t.note("both columns decay exponentially in k — the power of a few random choices");
     t
 }

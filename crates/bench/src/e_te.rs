@@ -18,7 +18,12 @@ pub fn e8_te_comparison(quick: bool) -> Table {
     let scenarios: Vec<Scenario> = if quick {
         vec![Scenario::abilene()]
     } else {
-        vec![Scenario::abilene(), Scenario::b4(), Scenario::geant(), Scenario::att()]
+        vec![
+            Scenario::abilene(),
+            Scenario::b4(),
+            Scenario::geant(),
+            Scenario::att(),
+        ]
     };
     let tm_seeds: u64 = if quick { 1 } else { 3 };
     let schemes = [
@@ -66,7 +71,13 @@ pub fn e8_te_comparison(quick: bool) -> Table {
 pub fn e9_failures(quick: bool) -> Table {
     let mut t = Table::new(
         "E9 failure robustness (re-adaptation vs renormalization)",
-        &["scenario", "failures", "semi ratio", "oblivious ratio", "fallback pairs"],
+        &[
+            "scenario",
+            "failures",
+            "semi ratio",
+            "oblivious ratio",
+            "fallback pairs",
+        ],
     );
     let sc = Scenario::abilene();
     let fail_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 3] };
@@ -109,7 +120,11 @@ pub fn e9_failures(quick: bool) -> Table {
 pub fn e18_sparsity_robustness(quick: bool) -> Table {
     let mut t = Table::new(
         "E18 sparsity vs failure robustness",
-        &["s", "mean semi ratio after failure", "fallback pairs (total)"],
+        &[
+            "s",
+            "mean semi ratio after failure",
+            "fallback pairs (total)",
+        ],
     );
     let sc = Scenario::abilene();
     let seeds: u64 = if quick { 2 } else { 5 };
@@ -158,10 +173,7 @@ mod tests {
     fn e8_quick_semi_beats_oblivious() {
         let t = e8_te_comparison(true);
         let get = |needle: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[1].contains(needle))
-                .unwrap()[2]
+            t.rows.iter().find(|r| r[1].contains(needle)).unwrap()[2]
                 .parse()
                 .unwrap()
         };

@@ -46,7 +46,14 @@ fn permutation_ratios<O: ObliviousRouting + Sync>(
 pub fn e1_log_sparsity(quick: bool) -> Table {
     let mut t = Table::new(
         "E1 log-sparsity sample is competitive (Thm 2.3)",
-        &["graph", "n", "k=O(log n)", "mean ratio", "worst ratio", "vs oblivious"],
+        &[
+            "graph",
+            "n",
+            "k=O(log n)",
+            "mean ratio",
+            "worst ratio",
+            "vs oblivious",
+        ],
     );
     let dims: &[usize] = if quick { &[4, 5] } else { &[4, 5, 6, 7] };
     let seeds = if quick { 2 } else { 4 };
@@ -99,7 +106,11 @@ pub fn e2_few_choices(quick: bool) -> Table {
     let r = ValiantHypercube::new(g.clone());
     let n = 1usize << d;
     let seeds = if quick { 2 } else { 4 };
-    let svals: &[usize] = if quick { &[1, 2, 4, 8] } else { &[1, 2, 3, 4, 6, 8, 12] };
+    let svals: &[usize] = if quick {
+        &[1, 2, 4, 8]
+    } else {
+        &[1, 2, 3, 4, 6, 8, 12]
+    };
     for &s in svals {
         let (worst, mean, _) = permutation_ratios(&g, &r, s, seeds, 0.2);
         t.row(vec![

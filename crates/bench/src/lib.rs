@@ -30,8 +30,8 @@ pub fn run_all(quick: bool) -> Vec<Table> {
 
 /// All experiment ids, in order.
 pub const IDS: [&str; 20] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19", "e20",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// Look up an experiment by id ("e1" … "e16").

@@ -40,10 +40,7 @@ pub fn plot_column(table: &Table, col: usize, width: usize) -> Option<String> {
     let max = points.iter().map(|p| p.1).fold(0.0, f64::max).max(1e-12);
     let label_w = points.iter().map(|p| p.0.len()).max().unwrap_or(0);
     let mut out = String::new();
-    out.push_str(&format!(
-        "  {} (bar max = {max:.3})\n",
-        table.headers[col]
-    ));
+    out.push_str(&format!("  {} (bar max = {max:.3})\n", table.headers[col]));
     for (label, v) in &points {
         out.push_str(&format!(
             "  {label:>label_w$} |{:<width$} {v:.3}\n",
@@ -58,10 +55,10 @@ pub fn default_plot_column(title: &str) -> Option<usize> {
     // choose by experiment id prefix in the title
     let id = title.split_whitespace().next()?;
     Some(match id {
-        "E2" => 2,   // mean ratio
-        "E7" => 2,   // measured failure rate
-        "E12" => 2,  // worst ratio
-        "E18" => 1,  // mean semi ratio
+        "E2" => 2,  // mean ratio
+        "E7" => 2,  // measured failure rate
+        "E12" => 2, // worst ratio
+        "E18" => 1, // mean semi ratio
         _ => return None,
     })
 }

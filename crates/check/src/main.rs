@@ -1,0 +1,48 @@
+//! Driver for the workspace lint pass: `cargo run -p sor-check`.
+//!
+//! Scans `crates/**/*.rs` and `src/**/*.rs` under the workspace root (or
+//! an explicit root passed as the first argument, used by the integration
+//! tests to point at seeded fixtures), prints one line per violation in
+//! `path:line: [rule] message` form, and exits non-zero when anything
+//! fires.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => workspace_root(),
+    };
+    if !root.is_dir() {
+        eprintln!("sor-check: root `{}` is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    match sor_check::scan_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("sor-check: clean ({} rules)", sor_check::ALL_RULES.len());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("sor-check: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("sor-check: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or(manifest)
+}

@@ -1,0 +1,212 @@
+//! Lexical pre-pass: remove comments and literal contents from source
+//! lines so the rule matchers never fire on text inside a string, a
+//! comment, or a char literal.
+//!
+//! The stripper is *stateful across lines* — block comments (which nest
+//! in Rust), multi-line string literals, and raw strings all carry over —
+//! so a file must be fed line by line through one [`Stripper`].
+
+/// Line-by-line source stripper. Feed every line of a file in order.
+pub struct Stripper {
+    state: State,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    /// Plain code.
+    Code,
+    /// Inside a (possibly nested) `/* .. */` comment; payload is depth.
+    Block(u32),
+    /// Inside a `"` string literal.
+    Str,
+    /// Inside a raw string literal; payload is the number of `#`s.
+    RawStr(u8),
+}
+
+impl Default for Stripper {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stripper {
+    /// A stripper positioned at the start of a file.
+    pub fn new() -> Self {
+        Stripper { state: State::Code }
+    }
+
+    /// Strip one line: comments vanish, string/char literal contents are
+    /// removed (delimiters kept so tokens don't merge), code survives.
+    pub fn strip_line(&mut self, line: &str) -> String {
+        let chars: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < chars.len() {
+            match self.state {
+                State::Block(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        i += 2;
+                        self.state = if depth > 1 {
+                            State::Block(depth - 1)
+                        } else {
+                            State::Code
+                        };
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        i += 2;
+                        self.state = State::Block(depth + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if chars[i] == '\\' {
+                        i += 2; // skip the escaped character
+                    } else if chars[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        self.state = State::Code;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if chars[i] == '"' && ends_raw(&chars, i + 1, hashes) {
+                        out.push('"');
+                        i += 1 + hashes as usize;
+                        self.state = State::Code;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    let c = chars[i];
+                    let next = chars.get(i + 1).copied();
+                    if c == '/' && next == Some('/') {
+                        break; // line comment (incl. doc comments) — drop the rest
+                    }
+                    if c == '/' && next == Some('*') {
+                        self.state = State::Block(1);
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        out.push('"');
+                        self.state = State::Str;
+                        i += 1;
+                        continue;
+                    }
+                    // raw (and raw-byte) strings: r"..", r#".."#, br".."
+                    if (c == 'r' || (c == 'b' && next == Some('r'))) && !prev_is_ident(&chars, i) {
+                        let mut j = i + if c == 'b' { 2 } else { 1 };
+                        let mut hashes: u8 = 0;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            out.push('"');
+                            self.state = State::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    if c == '\'' {
+                        // char literal vs lifetime: a literal is either an
+                        // escape ('\n') or exactly one char then a quote.
+                        if next == Some('\\') {
+                            out.push_str("''");
+                            i += 3; // ' \ x — then scan to the closing quote
+                            while i < chars.len() && chars[i] != '\'' {
+                                i += 1;
+                            }
+                            i += 1;
+                            continue;
+                        }
+                        if chars.get(i + 2) == Some(&'\'') {
+                            out.push_str("''");
+                            i += 3;
+                            continue;
+                        }
+                        // lifetime — keep it
+                        out.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Does `chars[from..]` start with `hashes` `#` characters?
+fn ends_raw(chars: &[char], from: usize, hashes: u8) -> bool {
+    (0..hashes as usize).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// Is the character before index `i` part of an identifier (so `r` here
+/// is the tail of a name like `var`, not a raw-string prefix)?
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Convenience: strip a single standalone line (fresh state).
+pub fn strip_line(line: &str) -> String {
+    Stripper::new().strip_line(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_dropped() {
+        assert_eq!(strip_line("let x = 1; // x.unwrap()"), "let x = 1; ");
+        assert_eq!(strip_line("/// doc with panic!(..)"), "");
+    }
+
+    #[test]
+    fn string_contents_removed() {
+        assert_eq!(strip_line(r#"let s = ".unwrap()";"#), r#"let s = "";"#);
+        assert_eq!(
+            strip_line(r#"format!("a {} \" b", x == 1.0)"#),
+            r#"format!("", x == 1.0)"#
+        );
+    }
+
+    #[test]
+    fn raw_strings_removed() {
+        assert_eq!(
+            strip_line(r###"let s = r#"panic!("x")"#;"###),
+            r#"let s = "";"#
+        );
+        assert_eq!(strip_line(r#"let s = r"thread_rng";"#), r#"let s = "";"#);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        assert_eq!(strip_line("let c = '=';"), "let c = '';");
+        assert_eq!(strip_line(r"let c = '\n';"), "let c = '';");
+        assert_eq!(
+            strip_line("fn f<'a>(x: &'a str) {}"),
+            "fn f<'a>(x: &'a str) {}"
+        );
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let mut s = Stripper::new();
+        assert_eq!(s.strip_line("code(); /* start"), "code(); ");
+        assert_eq!(s.strip_line("still /* nested */ inside x.unwrap()"), "");
+        assert_eq!(s.strip_line("end */ after();"), " after();");
+    }
+
+    #[test]
+    fn multiline_strings_span_lines() {
+        let mut s = Stripper::new();
+        assert_eq!(s.strip_line(r#"let s = "first"#), r#"let s = ""#);
+        assert_eq!(s.strip_line(r#"second .unwrap()" ; done"#), r#"" ; done"#);
+    }
+}

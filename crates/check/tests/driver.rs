@@ -1,0 +1,92 @@
+//! End-to-end tests for the `sor-check` driver: the binary must exit
+//! non-zero on a workspace seeded with violations, zero on a clean one,
+//! and zero on the real workspace (the acceptance gate CI enforces).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use sor_check::{scan_workspace, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/check has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn seeded_fixture_triggers_every_rule() {
+    let violations = scan_workspace(&fixture("bad_ws")).expect("scan bad_ws");
+    let fired: Vec<Rule> = violations.iter().map(|v| v.rule).collect();
+    for rule in sor_check::ALL_RULES {
+        assert!(
+            fired.contains(&rule),
+            "rule {rule} did not fire on the seeded fixture; got: {violations:#?}"
+        );
+    }
+    // the documented fn in the core fixture must not fire
+    assert!(
+        !violations.iter().any(|v| v.rule == Rule::MissingDocs
+            && v.message.contains("documented")
+            && !v.message.contains("undocumented")),
+        "documented fn wrongly flagged: {violations:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let violations = scan_workspace(&fixture("clean_ws")).expect("scan clean_ws");
+    assert!(
+        violations.is_empty(),
+        "clean fixture flagged: {violations:#?}"
+    );
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let violations = scan_workspace(&workspace_root()).expect("scan workspace");
+    assert!(
+        violations.is_empty(),
+        "workspace has {} lint violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_seeded_violations() {
+    let status = Command::new(env!("CARGO_BIN_EXE_sor-check"))
+        .arg(fixture("bad_ws"))
+        .status()
+        .expect("run sor-check on bad_ws");
+    assert_eq!(status.code(), Some(1), "expected exit 1 on seeded fixture");
+}
+
+#[test]
+fn binary_exits_zero_on_clean_fixture() {
+    let status = Command::new(env!("CARGO_BIN_EXE_sor-check"))
+        .arg(fixture("clean_ws"))
+        .status()
+        .expect("run sor-check on clean_ws");
+    assert_eq!(status.code(), Some(0), "expected exit 0 on clean fixture");
+}
+
+#[test]
+fn binary_rejects_missing_root() {
+    let status = Command::new(env!("CARGO_BIN_EXE_sor-check"))
+        .arg(fixture("no_such_dir"))
+        .status()
+        .expect("run sor-check on missing dir");
+    assert_eq!(status.code(), Some(2), "expected exit 2 on bad root");
+}

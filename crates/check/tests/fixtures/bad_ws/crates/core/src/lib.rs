@@ -1,0 +1,7 @@
+// Seeded missing-docs violation: sor-core requires doc comments on
+// every `pub fn`.
+
+pub fn undocumented() {}
+
+/// This one is documented and must not fire.
+pub fn documented() {}

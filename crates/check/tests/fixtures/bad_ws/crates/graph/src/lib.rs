@@ -1,0 +1,14 @@
+// Seeded violations for the sor-check integration tests. This file is
+// never compiled — it lives under tests/fixtures/, which cargo does not
+// treat as a target and classify() skips in the real workspace scan.
+
+pub fn seeded(x: f64, o: Option<u32>) -> u32 {
+    let v = o.unwrap();
+    let t = x as u32;
+    let mut rng = rand::thread_rng();
+    if x == 1.0 {
+        panic!("boom");
+    }
+    let _ = rng.gen_range(0..4);
+    v + t
+}

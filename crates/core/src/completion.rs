@@ -55,6 +55,7 @@ impl CompletionRouting {
         trees: usize,
         rng: &mut R,
     ) -> Self {
+        // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
         let diam = diameter(g) as usize;
         let mut scales = Vec::new();
         let mut h = 1usize;
@@ -80,10 +81,7 @@ impl CompletionRouting {
 
     /// The sampled system of the scale with hop bound `h`, if present.
     pub fn scale_system(&self, h: usize) -> Option<&PathSystem> {
-        self.scales
-            .iter()
-            .find(|(hh, _)| *hh == h)
-            .map(|(_, s)| s)
+        self.scales.iter().find(|(hh, _)| *hh == h).map(|(_, s)| s)
     }
 
     /// Union of all per-scale systems — the installed path system; its
@@ -232,10 +230,8 @@ mod tests {
     fn integral_routing_matches_demand_units() {
         let g = gen::cycle_graph(10);
         let mut rng = StdRng::seed_from_u64(5);
-        let demand = Demand::from_triples([
-            (NodeId(0), NodeId(1), 2.0),
-            (NodeId(5), NodeId(6), 1.0),
-        ]);
+        let demand =
+            Demand::from_triples([(NodeId(0), NodeId(1), 2.0), (NodeId(5), NodeId(6), 1.0)]);
         let pairs = demand_pairs(&demand);
         let cr = CompletionRouting::build(&g, &pairs, 2, 3, &mut rng);
         let (res, routes) = cr.route_integral(&demand, 0.15, &mut rng).expect("covered");

@@ -60,8 +60,8 @@ pub mod eval;
 pub mod lowerbound;
 pub mod negassoc;
 pub mod path_system;
-pub mod portable;
 pub mod patterns;
+pub mod portable;
 pub mod process;
 pub mod sample;
 pub mod semioblivious;

@@ -62,6 +62,7 @@ fn max_matching(nl: usize, nr: usize, adj: &[Vec<usize>]) -> Vec<(usize, usize)>
             }
             seen[v] = true;
             if match_r[v].is_none()
+                // sor-check: allow(unwrap) — invariant stated in the expect message
                 || try_kuhn(match_r[v].expect("checked"), adj, seen, match_r, match_l)
             {
                 match_r[v] = Some(u);
@@ -246,15 +247,40 @@ pub fn search_hard_demand<R: rand::Rng>(
     };
 
     // start from a random matching
-    let mut nodes: Vec<NodeId> = g.nodes().collect();
-    nodes.shuffle(rng);
-    let mut pairs: Vec<(NodeId, NodeId)> = (0..num_pairs)
-        .map(|i| (nodes[2 * i], nodes[2 * i + 1]))
-        .collect();
+    let random_matching = |rng: &mut R| -> Vec<(NodeId, NodeId)> {
+        let mut nodes: Vec<NodeId> = g.nodes().collect();
+        nodes.shuffle(rng);
+        (0..num_pairs)
+            .map(|i| (nodes[2 * i], nodes[2 * i + 1]))
+            .collect()
+    };
+    let mut pairs = random_matching(rng);
     let mut best_d = Demand::from_pairs(pairs.iter().copied());
     let mut best_r = ratio_of(&best_d);
+    // ratio of the *current* climb position (may sit below the global
+    // best right after a restart)
+    let mut cur_r = best_r;
+
+    // Restart from a fresh random matching after this many proposals
+    // without improvement: a single unlucky start can otherwise trap the
+    // climb below the plain random-matching baseline.
+    let stall_limit = (iters / 4).max(5);
+    let mut stalled = 0usize;
 
     for _ in 0..iters {
+        if stalled >= stall_limit {
+            stalled = 0;
+            let cand = random_matching(rng);
+            let d = Demand::from_pairs(cand.iter().copied());
+            if d.is_permutation() {
+                cur_r = ratio_of(&d);
+                pairs = cand;
+                if cur_r > best_r {
+                    best_r = cur_r;
+                    best_d = d;
+                }
+            }
+        }
         let mut cand = pairs.clone();
         match rng.gen_range(0..3) {
             0 if cand.len() >= 2 => {
@@ -271,8 +297,7 @@ pub fn search_hard_demand<R: rand::Rng>(
                 // redirect one endpoint to an unused vertex
                 let used: std::collections::HashSet<NodeId> =
                     cand.iter().flat_map(|&(a, b)| [a, b]).collect();
-                let free: Vec<NodeId> =
-                    g.nodes().filter(|v| !used.contains(v)).collect();
+                let free: Vec<NodeId> = g.nodes().filter(|v| !used.contains(v)).collect();
                 if let Some(&v) = free.as_slice().choose(rng) {
                     let i = rng.gen_range(0..cand.len());
                     if rng.gen_bool(0.5) {
@@ -289,17 +314,25 @@ pub fn search_hard_demand<R: rand::Rng>(
             }
         }
         if cand.iter().any(|&(a, b)| a == b) {
+            stalled += 1;
             continue;
         }
         let d = Demand::from_pairs(cand.iter().copied());
         if !d.is_permutation() {
+            stalled += 1;
             continue;
         }
         let r = ratio_of(&d);
-        if r > best_r {
-            best_r = r;
-            best_d = d;
+        if r > cur_r {
+            cur_r = r;
             pairs = cand;
+            stalled = 0;
+            if r > best_r {
+                best_r = r;
+                best_d = d;
+            }
+        } else {
+            stalled += 1;
         }
     }
     (best_d, best_r)

@@ -14,7 +14,9 @@
 /// (the `(e·mu/a)^a·e^{−mu}` form, Lemma B.5/B.6 combined); 1 otherwise.
 pub fn chernoff_upper_tail(mu: f64, a: f64) -> f64 {
     assert!(mu >= 0.0 && a >= 0.0);
+    // sor-check: allow(float-eq) — 0.0 is an exact sentinel here, not a computed value
     if a <= mu || mu == 0.0 {
+        // sor-check: allow(float-eq) — 0.0 is an exact sentinel here, not a computed value
         return if mu == 0.0 && a > 0.0 { 0.0 } else { 1.0 };
     }
     (a - mu - a * (a / mu).ln()).exp().min(1.0)
@@ -59,6 +61,7 @@ pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
         vx += (x - mx) * (x - mx);
         vy += (y - my) * (y - my);
     }
+    // sor-check: allow(float-eq) — 0.0 is an exact sentinel here, not a computed value
     if vx == 0.0 || vy == 0.0 {
         0.0
     } else {

@@ -112,10 +112,57 @@ impl PathSystem {
 
     /// Check every stored path against the graph (tests / debug).
     pub fn validate(&self, g: &Graph) -> bool {
-        self.pairs().all(|(s, t, ps)| {
-            ps.iter()
-                .all(|p| p.validate(g) && p.source() == s && p.target() == t)
-        })
+        self.validate_detailed(g, None).is_ok()
+    }
+
+    /// Like [`PathSystem::validate`], but reports *which* invariant broke.
+    ///
+    /// Checked invariants (Definition 2.1):
+    /// * every pair has a non-empty path list (empty pairs are removed, not
+    ///   stored),
+    /// * every path runs `s → t` for its pair,
+    /// * every path is a valid simple path of `g` (edges in bounds and
+    ///   consecutive),
+    /// * paths within a pair are distinct (a path system is a *set*),
+    /// * with `sparsity_bound = Some(s)`, no pair holds more than `s`
+    ///   paths — the `s`-sparsity promise a `k`-sample must keep.
+    pub fn validate_detailed(
+        &self,
+        g: &Graph,
+        sparsity_bound: Option<usize>,
+    ) -> Result<(), String> {
+        for (s, t, ps) in self.pairs() {
+            if ps.is_empty() {
+                return Err(format!("pair {s}→{t} stores an empty path list"));
+            }
+            if let Some(bound) = sparsity_bound {
+                if ps.len() > bound {
+                    return Err(format!(
+                        "pair {s}→{t} holds {} paths, exceeding the sparsity bound {bound}",
+                        ps.len()
+                    ));
+                }
+            }
+            for (i, p) in ps.iter().enumerate() {
+                if p.source() != s || p.target() != t {
+                    return Err(format!(
+                        "pair {s}→{t} path {i} runs {}→{} instead",
+                        p.source(),
+                        p.target()
+                    ));
+                }
+                if !p.validate(g) {
+                    return Err(format!(
+                        "pair {s}→{t} path {i} is not a simple path of the graph \
+                         (out-of-bounds or non-consecutive edges)"
+                    ));
+                }
+                if ps[..i].contains(p) {
+                    return Err(format!("pair {s}→{t} stores path {i} twice"));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -163,10 +210,39 @@ mod tests {
         a.insert(NodeId(0), NodeId(3), ps[0].clone());
         let mut b = PathSystem::new();
         b.insert(NodeId(0), NodeId(3), ps[1].clone());
-        b.insert(NodeId(1), NodeId(4), bfs_path(&g, NodeId(1), NodeId(4)).unwrap());
+        b.insert(
+            NodeId(1),
+            NodeId(4),
+            bfs_path(&g, NodeId(1), NodeId(4)).unwrap(),
+        );
         let u = a.union(&b);
         assert_eq!(u.num_pairs(), 2);
         assert_eq!(u.paths(NodeId(0), NodeId(3)).len(), 2);
+    }
+
+    #[test]
+    fn validate_detailed_reports_broken_invariant() {
+        let g = gen::cycle_graph(6);
+        let mut sys = PathSystem::new();
+        for p in yen_ksp(&g, NodeId(0), NodeId(3), 2, &g.unit_lengths()) {
+            sys.insert(NodeId(0), NodeId(3), p);
+        }
+        assert_eq!(sys.validate_detailed(&g, None), Ok(()));
+        assert_eq!(sys.validate_detailed(&g, Some(2)), Ok(()));
+        // sparsity bound violation names the pair and the bound
+        let err = sys.validate_detailed(&g, Some(1)).unwrap_err();
+        assert!(err.contains("sparsity bound 1"), "{err}");
+        // a path over a *different* graph is caught as out-of-bounds
+        let g2 = gen::cycle_graph(3);
+        let mut alien = PathSystem::new();
+        alien.insert(
+            NodeId(0),
+            NodeId(3),
+            bfs_path(&g, NodeId(0), NodeId(3)).unwrap(),
+        );
+        let err = alien.validate_detailed(&g2, None).unwrap_err();
+        assert!(err.contains("not a simple path"), "{err}");
+        assert!(!alien.validate(&g2));
     }
 
     #[test]

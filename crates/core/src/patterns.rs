@@ -22,6 +22,7 @@ pub fn pattern_of_run(deleted_at: &[f64], theta: f64, total_draws: usize) -> Opt
     Some(
         deleted_at
             .iter()
+            // sor-check: allow(lossy-cast) — floor of a non-negative bounded ratio
             .map(|&w| (w / theta + 1e-9).floor() as u64)
             .collect(),
     )
@@ -32,9 +33,7 @@ pub fn pattern_of_run(deleted_at: &[f64], theta: f64, total_draws: usize) -> Opt
 /// least `min_sum`, capped at `total`).
 pub fn is_bad_pattern(pattern: &[u64], min_nonzero: u64, min_sum: u64, total: u64) -> bool {
     let sum: u64 = pattern.iter().sum();
-    sum >= min_sum
-        && sum <= total
-        && pattern.iter().all(|&c| c == 0 || c >= min_nonzero)
+    sum >= min_sum && sum <= total && pattern.iter().all(|&c| c == 0 || c >= min_nonzero)
 }
 
 /// Exact count of bad patterns over `m` edges with entries in
@@ -43,6 +42,7 @@ pub fn is_bad_pattern(pattern: &[u64], min_nonzero: u64, min_sum: u64, total: u6
 pub fn count_bad_patterns(m: usize, min_nonzero: u64, min_sum: u64, total: u64) -> u128 {
     assert!(min_nonzero >= 1);
     // dp[s] = number of tuples over the edges processed so far with sum s.
+    // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
     let cap = total as usize;
     let mut dp = vec![0u128; cap + 1];
     dp[0] = 1;
@@ -52,6 +52,7 @@ pub fn count_bad_patterns(m: usize, min_nonzero: u64, min_sum: u64, total: u64) 
             if ways == 0 {
                 continue;
             }
+            // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
             let mut c = min_nonzero as usize;
             while s + c <= cap {
                 next[s + c] += ways;
@@ -62,6 +63,7 @@ pub fn count_bad_patterns(m: usize, min_nonzero: u64, min_sum: u64, total: u64) 
     }
     dp.iter()
         .enumerate()
+        // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
         .filter(|&(s, _)| s as u64 >= min_sum)
         .map(|(_, &w)| w)
         .sum()
@@ -72,9 +74,11 @@ pub fn count_bad_patterns(m: usize, min_nonzero: u64, min_sum: u64, total: u64) 
 /// `Σ_{j≤K} C(m, j) · C(total, j)` (choose the nonzero positions, then the
 /// values by stars-and-bars majorization). Loose but union-bound-friendly.
 pub fn pattern_count_bound(m: usize, min_nonzero: u64, total: u64) -> f64 {
+    // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
     let k = (total / min_nonzero.max(1)) as usize;
     let mut bound = 0.0f64;
     for j in 0..=k.min(m) {
+        // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
         bound += binom_f64(m, j) * binom_f64(total as usize, j);
     }
     bound.max(1.0)

@@ -74,6 +74,7 @@ pub fn system_from_text(g: &Graph, text: &str) -> Result<PathSystem, String> {
             .ok_or("missing path count")?
             .parse()
             .map_err(|_| "bad path count")?;
+        // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
         if s as usize >= g.num_nodes() || t as usize >= g.num_nodes() {
             return Err(format!("pair {s}→{t}: endpoint out of range"));
         }
@@ -86,6 +87,7 @@ pub fn system_from_text(g: &Graph, text: &str) -> Result<PathSystem, String> {
             let mut edges = Vec::new();
             for tok in parts {
                 let e: u32 = tok.parse().map_err(|_| format!("bad edge id '{tok}'"))?;
+                // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
                 if e as usize >= g.num_edges() {
                     return Err(format!("edge id {e} out of range"));
                 }
@@ -118,7 +120,7 @@ mod tests {
         let r = KspRouting::new(g.clone(), 3);
         let mut rng = StdRng::seed_from_u64(1);
         let pairs = vec![
-            (NodeId(0), NodeId((g.num_nodes() - 1) as u32)),
+            (NodeId(0), NodeId::from_usize(g.num_nodes() - 1)),
             (NodeId(1), NodeId(2)),
         ];
         sample_k(&r, &pairs, 3, &mut rng).system

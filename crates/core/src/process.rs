@@ -46,6 +46,7 @@ impl ProcessOutcome {
 
     /// Fraction of weight that survived.
     pub fn survival_fraction(&self) -> f64 {
+        // sor-check: allow(float-eq) — 0.0 is an exact sentinel here, not a computed value
         if self.total_weight == 0.0 {
             1.0
         } else {
@@ -95,6 +96,7 @@ pub fn deletion_process_detailed(
     let mut total_weight = 0.0;
     for ((s, t), paths) in &sampled.raw {
         let d = *weight_of_pair.get(&(*s, *t)).unwrap_or(&0.0);
+        // sor-check: allow(float-eq) — 0.0 is an exact sentinel here, not a computed value
         if d == 0.0 || paths.is_empty() {
             continue;
         }
@@ -115,6 +117,7 @@ pub fn deletion_process_detailed(
     let mut loads = EdgeLoads::for_graph(g);
     for (i, d) in draws.iter().enumerate() {
         for &e in d.path.edges() {
+            // sor-check: allow(lossy-cast) — draw count < u32::MAX by construction
             crossing[e.index()].push(i as u32);
         }
         loads.add_path(d.path, d.weight);
@@ -128,6 +131,7 @@ pub fn deletion_process_detailed(
             overcongested.push(e);
             let mut deleted_here = 0.0;
             for &di in &crossing[e.index()] {
+                // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
                 let d = &mut draws[di as usize];
                 if d.alive {
                     d.alive = false;
@@ -139,11 +143,7 @@ pub fn deletion_process_detailed(
         }
     }
 
-    let survived_weight = draws
-        .iter()
-        .filter(|d| d.alive)
-        .map(|d| d.weight)
-        .sum();
+    let survived_weight = draws.iter().filter(|d| d.alive).map(|d| d.weight).sum();
     let mut alive_of: std::collections::HashMap<(NodeId, NodeId), Vec<bool>> =
         std::collections::HashMap::new();
     for d in &draws {
@@ -177,6 +177,7 @@ pub fn weak_failure_rate<O: ObliviousRouting>(
     let pairs = demand_pairs(demand);
     let mut failures = 0usize;
     for t in 0..trials {
+        // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
         let sampled = sample_k(routing, &pairs, k, &mut rng);
         let outcome = deletion_process(g, &sampled, demand, tau);
@@ -250,11 +251,13 @@ pub fn weak_to_strong(
             if total > 0 && alive * 4 >= total {
                 // route this pair fully over its surviving draws
                 let per_draw = d / alive as f64;
+                // sor-check: allow(unwrap) — invariant stated in the expect message
                 let flags = flags.expect("checked");
                 let (_, draws) = sampled
                     .raw
                     .iter()
                     .find(|(pair, _)| *pair == (s, t))
+                    // sor-check: allow(unwrap) — invariant stated in the expect message
                     .expect("pair was sampled");
                 for (p, &ok) in draws.iter().zip(flags) {
                     if ok {
@@ -273,10 +276,7 @@ pub fn weak_to_strong(
     }
     // Tail: spread each leftover pair over all of its draws.
     for &(s, t, d) in remaining.entries() {
-        let (_, draws) = sampled
-            .raw
-            .iter()
-            .find(|(pair, _)| *pair == (s, t))?;
+        let (_, draws) = sampled.raw.iter().find(|(pair, _)| *pair == (s, t))?;
         let per_draw = d / draws.len() as f64;
         for p in draws {
             loads.add_path(p, per_draw);

@@ -65,6 +65,7 @@ pub fn sample_k_plus_cut<O: ObliviousRouting, R: Rng + ?Sized>(
     let with_counts: Vec<((NodeId, NodeId), usize)> = pairs
         .iter()
         .map(|&(s, t)| {
+            // sor-check: allow(lossy-cast) — ceil of a small non-negative cut value
             let cut = st_min_cut(g, s, t).ceil() as usize;
             ((s, t), k + cut)
         })
@@ -100,7 +101,9 @@ pub fn sample_k_distinct<O: ObliviousRouting, R: Rng + ?Sized>(
         }
         raw.push(((s, t), draws));
     }
-    SampledSystem { system, raw }
+    let out = SampledSystem { system, raw };
+    validate_sample(routing.graph(), &out);
+    out
 }
 
 /// Shared implementation: per-pair draw counts.
@@ -121,7 +124,23 @@ fn sample_counts<O: ObliviousRouting, R: Rng + ?Sized>(
         }
         raw.push(((s, t), draws));
     }
-    SampledSystem { system, raw }
+    let out = SampledSystem { system, raw };
+    validate_sample(routing.graph(), &out);
+    out
+}
+
+/// Debug/`validate`-feature self-check: a sampled system must satisfy the
+/// path-system invariants, and its sparsity can never exceed the largest
+/// per-pair draw count.
+fn validate_sample(g: &Graph, sampled: &SampledSystem) {
+    if !(cfg!(debug_assertions) || cfg!(feature = "validate")) {
+        return;
+    }
+    let max_draws = sampled.raw.iter().map(|(_, v)| v.len()).max();
+    if let Err(msg) = sampled.system.validate_detailed(g, max_draws) {
+        // sor-check: allow(unwrap) — validator failure means a sampler bug, not recoverable state
+        panic!("sampled path system violates its invariants: {msg}");
+    }
 }
 
 /// The support pairs of a demand, in deterministic order — the usual pair

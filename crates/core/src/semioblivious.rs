@@ -46,6 +46,7 @@ impl SemiObliviousRouting {
         demand
             .entries()
             .iter()
+            // sor-check: allow(float-eq) — 0.0 is an exact sentinel here, not a computed value
             .all(|&(s, t, d)| d == 0.0 || self.system.covers(s, t))
     }
 
@@ -84,7 +85,10 @@ impl SemiObliviousRouting {
         eps: f64,
         rng: &mut R,
     ) -> IntegralSolution {
-        assert!(demand.is_integral(), "integral routing needs integral demand");
+        assert!(
+            demand.is_integral(),
+            "integral routing needs integral demand"
+        );
         let entries = self.entries(demand);
         let frac = restricted_min_congestion(&self.g, &entries, eps);
         round_and_improve(&self.g, &entries, &frac.weights, 30, rng)

@@ -16,6 +16,7 @@ use sor_flow::Demand;
 /// `D(u,v) / N_{u,v} ∈ {0, θ}` for every pair.
 pub fn is_special(demand: &Demand, sampled: &SampledSystem, theta: f64) -> bool {
     demand.entries().iter().all(|&(s, t, d)| {
+        // sor-check: allow(float-eq) — 0.0 is an exact sentinel here, not a computed value
         if d == 0.0 {
             return true;
         }
@@ -45,6 +46,7 @@ pub fn bucketize(
         })
         .collect();
     let max_ratio = ratios.iter().copied().fold(0.0, f64::max);
+    // sor-check: allow(float-eq) — 0.0 is an exact sentinel here, not a computed value
     if max_ratio == 0.0 {
         return vec![Demand::new()];
     }
@@ -60,10 +62,7 @@ pub fn bucketize(
         }
         buckets[b].push((s, t, d));
     }
-    buckets
-        .into_iter()
-        .map(Demand::from_triples)
-        .collect()
+    buckets.into_iter().map(Demand::from_triples).collect()
 }
 
 /// The special demand *dominating* a bucket: every pair's amount is raised
@@ -104,16 +103,10 @@ mod tests {
         let pairs = [(NodeId(0), NodeId(3)), (NodeId(1), NodeId(4))];
         let sampled = sample_k(&r, &pairs, 4, &mut rng);
         // each pair drew 4 paths; demand 2 per pair → θ = 0.5
-        let d = Demand::from_triples([
-            (NodeId(0), NodeId(3), 2.0),
-            (NodeId(1), NodeId(4), 2.0),
-        ]);
+        let d = Demand::from_triples([(NodeId(0), NodeId(3), 2.0), (NodeId(1), NodeId(4), 2.0)]);
         assert!(is_special(&d, &sampled, 0.5));
         assert!(!is_special(&d, &sampled, 0.25));
-        let skew = Demand::from_triples([
-            (NodeId(0), NodeId(3), 2.0),
-            (NodeId(1), NodeId(4), 1.0),
-        ]);
+        let skew = Demand::from_triples([(NodeId(0), NodeId(3), 2.0), (NodeId(1), NodeId(4), 1.0)]);
         assert!(!is_special(&skew, &sampled, 0.5));
     }
 
@@ -167,10 +160,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let pairs = [(NodeId(0), NodeId(3)), (NodeId(1), NodeId(4))];
         let sampled = sample_k(&r, &pairs, 4, &mut rng);
-        let bucket = Demand::from_triples([
-            (NodeId(0), NodeId(3), 2.0),
-            (NodeId(1), NodeId(4), 1.2),
-        ]);
+        let bucket =
+            Demand::from_triples([(NodeId(0), NodeId(3), 2.0), (NodeId(1), NodeId(4), 1.2)]);
         let dom = dominating_special(&bucket, |s, t| sampled.draws(s, t));
         assert!(is_special(&dom, &sampled, 0.5));
         for (&(_, _, a), &(_, _, b)) in bucket.entries().iter().zip(dom.entries()) {

@@ -1,5 +1,9 @@
 //! Property-based tests for the semi-oblivious core: sampling, the
 //! deletion process, bad patterns, bucketing.
+//!
+//! Failing cases are recorded in `props.proptest-regressions` (one
+//! deduplicated `cc <hash>` line per minimal counterexample) and re-run
+//! before new cases; see that file's header for the recording policy.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -1,0 +1,164 @@
+//! Property tests for the runtime invariant validators: every sampled
+//! path system satisfies [`PathSystem::validate`] (endpoints, edge
+//! validity, sparsity bound), and every `restricted`/`rounding` solution
+//! passes the flow-conservation and capacity-respect checks of
+//! `sor_flow::validate` — on random graphs, demands, and seeds.
+//!
+//! [`PathSystem::validate`]: sor_core::PathSystem::validate
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sor_core::sample::{demand_pairs, sample_k, sample_k_plus_cut};
+use sor_flow::restricted::RestrictedEntry;
+use sor_flow::validate::{check_flow_conservation, check_integral, check_restricted};
+use sor_flow::{restricted_min_congestion, round_and_improve, Demand};
+use sor_graph::{gen, Graph, NodeId, Path};
+use sor_oblivious::KspRouting;
+
+fn arb_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = (2.5 * (n as f64).ln() / n as f64).min(0.9);
+    gen::erdos_renyi_connected(n, p, &mut rng)
+}
+
+fn spread_pairs(n: usize, count: usize) -> Vec<(NodeId, NodeId)> {
+    (0..count.min(n / 2))
+        .map(|i| (NodeId::from_usize(i), NodeId::from_usize(n - 1 - i)))
+        .collect()
+}
+
+/// Entries routing `demand` units over each pair's sampled candidates.
+fn entries_for<'a>(
+    pairs: &[(NodeId, NodeId)],
+    system: &'a sor_core::PathSystem,
+    demand: f64,
+) -> Vec<RestrictedEntry<'a>> {
+    pairs
+        .iter()
+        .map(|&(s, t)| RestrictedEntry {
+            s,
+            t,
+            demand,
+            paths: system.paths(s, t),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `sample_k` output always passes `PathSystem::validate`, in both the
+    /// boolean and the detailed form, including the `k`-sparsity bound.
+    #[test]
+    fn sample_k_output_validates(seed in 0u64..400, n in 6usize..14, k in 1usize..6) {
+        let g = arb_graph(n, seed);
+        let base = KspRouting::new(g.clone(), 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5a);
+        let pairs = spread_pairs(n, 3);
+        let sampled = sample_k(&base, &pairs, k, &mut rng);
+        prop_assert!(sampled.system.validate(&g));
+        prop_assert_eq!(sampled.system.validate_detailed(&g, Some(k)), Ok(()));
+        // every requested pair is covered, and by at most k paths
+        for &(s, t) in &pairs {
+            let ps = sampled.system.paths(s, t);
+            prop_assert!(!ps.is_empty() && ps.len() <= k);
+        }
+    }
+
+    /// The `(k + cut)`-sample also validates — its sparsity bound is the
+    /// per-pair draw count, not `k` itself.
+    #[test]
+    fn sample_k_plus_cut_output_validates(seed in 0u64..200, n in 6usize..12, k in 1usize..4) {
+        let g = arb_graph(n, seed);
+        let base = KspRouting::new(g.clone(), 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc3);
+        let pairs = spread_pairs(n, 2);
+        let sampled = sample_k_plus_cut(&base, &g, &pairs, k, &mut rng);
+        prop_assert_eq!(sampled.system.validate_detailed(&g, None), Ok(()));
+        for &(s, t) in &pairs {
+            prop_assert!(sampled.system.paths(s, t).len() <= sampled.draws(s, t));
+        }
+    }
+
+    /// Fractional restricted solutions on random graphs conserve flow and
+    /// respect the reported congestion/capacities.
+    #[test]
+    fn restricted_solutions_pass_validators(
+        seed in 0u64..300,
+        n in 6usize..12,
+        k in 1usize..5,
+        demand in 0.25f64..4.0,
+    ) {
+        let g = arb_graph(n, seed);
+        let base = KspRouting::new(g.clone(), 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let pairs = spread_pairs(n, 3);
+        let system = sample_k(&base, &pairs, k, &mut rng).system;
+        let entries = entries_for(&pairs, &system, demand);
+        let sol = restricted_min_congestion(&g, &entries, 0.1);
+        prop_assert_eq!(check_flow_conservation(&entries, &sol.weights), Ok(()));
+        prop_assert_eq!(check_restricted(&g, &entries, &sol), Ok(()));
+        // and tampering is caught: stealing flow breaks conservation
+        let mut bad = sol.weights.clone();
+        bad[0][0] += demand;
+        prop_assert!(check_flow_conservation(&entries, &bad).is_err());
+    }
+
+    /// Integral (rounded) solutions conserve demand units and report
+    /// consistent loads/congestion.
+    #[test]
+    fn rounded_solutions_pass_validators(
+        seed in 0u64..300,
+        n in 6usize..12,
+        k in 2usize..5,
+        units in 1u32..5,
+    ) {
+        let g = arb_graph(n, seed);
+        let base = KspRouting::new(g.clone(), 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1f);
+        let pairs = spread_pairs(n, 2);
+        let system = sample_k(&base, &pairs, k, &mut rng).system;
+        let entries = entries_for(&pairs, &system, f64::from(units));
+        let frac = restricted_min_congestion(&g, &entries, 0.1);
+        let sol = round_and_improve(&g, &entries, &frac.weights, 8, &mut rng);
+        prop_assert_eq!(check_integral(&g, &entries, &sol), Ok(()));
+        for (j, row) in sol.counts.iter().enumerate() {
+            let total: u32 = row.iter().sum();
+            prop_assert_eq!(total, units, "entry {} routes {} of {} units", j, total, units);
+        }
+    }
+
+    /// End-to-end: a demand's pairs, sampled and adapted, stay valid after
+    /// edge failures shrink the system (`without_edges` keeps invariants).
+    #[test]
+    fn failure_shrunk_systems_validate(seed in 0u64..200, n in 8usize..14) {
+        let g = arb_graph(n, seed);
+        let base = KspRouting::new(g.clone(), 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe1);
+        let dm = Demand::from_pairs(spread_pairs(n, 3));
+        let sampled = sample_k(&base, &demand_pairs(&dm), 3, &mut rng);
+        let failed = [sor_graph::EdgeId(0)];
+        let shrunk = sampled.system.without_edges(&failed);
+        prop_assert_eq!(shrunk.validate_detailed(&g, Some(3)), Ok(()));
+        for (_, _, paths) in shrunk.pairs() {
+            for p in paths {
+                prop_assert!(!p.contains_edge(failed[0]));
+            }
+        }
+    }
+}
+
+/// Non-property smoke check kept outside `proptest!` so a failure prints
+/// the validator's message directly.
+#[test]
+fn validator_messages_name_the_pair() {
+    let g = gen::cycle_graph(6);
+    let mut sys = sor_core::PathSystem::new();
+    let p: Path = sor_graph::bfs_path(&g, NodeId(0), NodeId(3)).expect("connected");
+    sys.insert(NodeId(0), NodeId(3), p);
+    let err = sys
+        .validate_detailed(&gen::cycle_graph(3), None)
+        .expect_err("alien graph must fail");
+    assert!(err.contains("v0→v3"), "{err}");
+}

@@ -88,6 +88,7 @@ pub fn max_concurrent_flow(g: &Graph, demand: &Demand, eps: f64) -> OptResult {
                 let tree = dijkstra(g, s, &len);
                 let path = tree
                     .path_to(g, t)
+                    // sor-check: allow(unwrap) — documented failure mode: demand pair disconnected
                     .unwrap_or_else(|| panic!("demand pair {s}→{t} disconnected"));
                 let bottleneck = path
                     .edges()
@@ -206,6 +207,7 @@ pub fn max_concurrent_flow_grouped(g: &Graph, demand: &Demand, eps: f64) -> OptR
                     }
                     let path = tree
                         .path_to(g, *t)
+                        // sor-check: allow(unwrap) — documented failure mode: demand pair disconnected
                         .unwrap_or_else(|| panic!("demand pair {s}→{t} disconnected"));
                     let bottleneck = path
                         .edges()
@@ -274,7 +276,11 @@ mod tests {
         let d = Demand::from_pairs([(NodeId(0), NodeId(4))]);
         let r = max_concurrent_flow(&g, &d, 0.05);
         sandwich_ok(&r);
-        assert!((r.congestion_upper - 1.0).abs() < 0.05, "{}", r.congestion_upper);
+        assert!(
+            (r.congestion_upper - 1.0).abs() < 0.05,
+            "{}",
+            r.congestion_upper
+        );
         assert!(r.congestion_lower > 0.8);
     }
 
@@ -285,7 +291,11 @@ mod tests {
         let d = Demand::from_pairs([(NodeId(0), NodeId(2))]);
         let r = max_concurrent_flow(&g, &d, 0.05);
         sandwich_ok(&r);
-        assert!((r.congestion_upper - 0.5).abs() < 0.06, "{}", r.congestion_upper);
+        assert!(
+            (r.congestion_upper - 0.5).abs() < 0.06,
+            "{}",
+            r.congestion_upper
+        );
         assert!(r.congestion_lower > 0.4);
     }
 
@@ -309,7 +319,11 @@ mod tests {
         let d = Demand::from_pairs([(NodeId(0), NodeId(1))]);
         let r = max_concurrent_flow(&g, &d, 0.05);
         sandwich_ok(&r);
-        assert!((r.congestion_upper - 0.25).abs() < 0.05, "{}", r.congestion_upper);
+        assert!(
+            (r.congestion_upper - 0.25).abs() < 0.05,
+            "{}",
+            r.congestion_upper
+        );
     }
 
     #[test]
@@ -389,7 +403,11 @@ mod tests {
         let g = gen::cycle_graph(4);
         let d = Demand::from_pairs([(NodeId(0), NodeId(2))]);
         let r = max_concurrent_flow_grouped(&g, &d, 0.05);
-        assert!((r.congestion_upper - 0.5).abs() < 0.06, "{}", r.congestion_upper);
+        assert!(
+            (r.congestion_upper - 0.5).abs() < 0.06,
+            "{}",
+            r.congestion_upper
+        );
     }
 
     #[test]

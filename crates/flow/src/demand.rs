@@ -50,6 +50,7 @@ impl Demand {
     /// Add `amount` to pair `(s, t)`.
     pub fn add(&mut self, s: NodeId, t: NodeId, amount: f64) {
         assert!(s != t && amount.is_finite() && amount >= 0.0);
+        // sor-check: allow(float-eq) — 0.0 is an exact sentinel here, not a computed value
         if amount == 0.0 {
             return;
         }
@@ -126,12 +127,7 @@ impl Demand {
 
     /// Pointwise sum of two demands.
     pub fn plus(&self, other: &Demand) -> Demand {
-        Demand::from_triples(
-            self.entries
-                .iter()
-                .chain(other.entries.iter())
-                .copied(),
-        )
+        Demand::from_triples(self.entries.iter().chain(other.entries.iter()).copied())
     }
 
     /// Split into `(kept, rest)` by a pair predicate.
@@ -154,11 +150,7 @@ impl Demand {
 pub fn random_permutation<R: Rng>(g: &Graph, rng: &mut R) -> Demand {
     let mut targets: Vec<NodeId> = g.nodes().collect();
     targets.shuffle(rng);
-    Demand::from_pairs(
-        g.nodes()
-            .zip(targets)
-            .filter(|&(s, t)| s != t),
-    )
+    Demand::from_pairs(g.nodes().zip(targets).filter(|&(s, t)| s != t))
 }
 
 /// A random partial permutation demand on `k` disjoint pairs.
@@ -173,12 +165,12 @@ pub fn random_matching<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Demand {
 /// A random 1-demand on `pairs` uniformly random (not necessarily
 /// disjoint) vertex pairs, each with a uniform amount in `(0, 1]`.
 pub fn random_one_demand<R: Rng>(g: &Graph, pairs: usize, rng: &mut R) -> Demand {
-    let n = g.num_nodes() as u32;
+    let n = g.num_nodes();
     let mut d = Demand::new();
     let mut placed = 0;
     while placed < pairs {
-        let s = NodeId(rng.gen_range(0..n));
-        let t = NodeId(rng.gen_range(0..n));
+        let s = NodeId::from_usize(rng.gen_range(0..n));
+        let t = NodeId::from_usize(rng.gen_range(0..n));
         if s == t {
             continue;
         }
@@ -199,12 +191,12 @@ pub fn random_integral_demand<R: Rng>(
     rng: &mut R,
 ) -> Demand {
     assert!(max_amount >= 1);
-    let n = g.num_nodes() as u32;
+    let n = g.num_nodes();
     let mut d = Demand::new();
     let mut placed = 0;
     while placed < pairs {
-        let s = NodeId(rng.gen_range(0..n));
-        let t = NodeId(rng.gen_range(0..n));
+        let s = NodeId::from_usize(rng.gen_range(0..n));
+        let t = NodeId::from_usize(rng.gen_range(0..n));
         if s == t {
             continue;
         }
@@ -250,12 +242,12 @@ pub fn zipf_demand<R: Rng>(
     rng: &mut R,
 ) -> Demand {
     assert!(pairs >= 1 && alpha >= 0.0 && max_amount > 0.0);
-    let n = g.num_nodes() as u32;
+    let n = g.num_nodes();
     let mut d = Demand::new();
     let mut rank = 1usize;
     while rank <= pairs {
-        let s = NodeId(rng.gen_range(0..n));
-        let t = NodeId(rng.gen_range(0..n));
+        let s = NodeId::from_usize(rng.gen_range(0..n));
+        let t = NodeId::from_usize(rng.gen_range(0..n));
         if s == t {
             continue;
         }
@@ -425,10 +417,7 @@ mod tests {
 
     #[test]
     fn partition_splits() {
-        let d = Demand::from_triples([
-            (NodeId(0), NodeId(1), 0.5),
-            (NodeId(2), NodeId(3), 2.0),
-        ]);
+        let d = Demand::from_triples([(NodeId(0), NodeId(1), 0.5), (NodeId(2), NodeId(3), 2.0)]);
         let (big, small) = d.partition(|_, _, a| a > 1.0);
         assert_eq!(big.support_size(), 1);
         assert_eq!(small.support_size(), 1);
@@ -470,10 +459,7 @@ mod tests {
 
     #[test]
     fn perturbed_sequence_bounded_drift() {
-        let base = Demand::from_triples([
-            (NodeId(0), NodeId(1), 2.0),
-            (NodeId(2), NodeId(3), 4.0),
-        ]);
+        let base = Demand::from_triples([(NodeId(0), NodeId(1), 2.0), (NodeId(2), NodeId(3), 4.0)]);
         let mut rng = StdRng::seed_from_u64(7);
         let seq = perturbed_sequence(&base, 5, 0.2, &mut rng);
         assert_eq!(seq.len(), 5);

@@ -20,6 +20,7 @@ pub fn exact_integral_restricted(g: &Graph, entries: &[RestrictedEntry<'_>]) -> 
     for e in entries {
         let d = e.demand.round();
         assert!((e.demand - d).abs() < 1e-9, "integral demands required");
+        // sor-check: allow(lossy-cast) — integrality and range asserted above
         for _ in 0..d as u64 {
             assert!(!e.paths.is_empty(), "entry with demand but no paths");
             slots.push(e.paths);
@@ -27,13 +28,7 @@ pub fn exact_integral_restricted(g: &Graph, entries: &[RestrictedEntry<'_>]) -> 
     }
     let mut loads = EdgeLoads::for_graph(g);
     let mut best = f64::INFINITY;
-    fn rec(
-        g: &Graph,
-        slots: &[&[Path]],
-        i: usize,
-        loads: &mut EdgeLoads,
-        best: &mut f64,
-    ) {
+    fn rec(g: &Graph, slots: &[&[Path]], i: usize, loads: &mut EdgeLoads, best: &mut f64) {
         // Bound: current congestion can only grow.
         let cur = loads.congestion(g);
         if cur >= *best {
@@ -63,6 +58,7 @@ pub fn exact_integral_restricted(g: &Graph, entries: &[RestrictedEntry<'_>]) -> 
 /// solvers.
 pub fn exact_single_pair_fractional(g: &Graph, s: NodeId, t: NodeId, d: f64) -> f64 {
     assert!(d >= 0.0);
+    // sor-check: allow(float-eq) — 0.0 is an exact sentinel here, not a computed value
     if d == 0.0 {
         return 0.0;
     }
@@ -87,6 +83,7 @@ pub fn all_simple_paths(g: &Graph, s: NodeId, t: NodeId) -> Vec<Path> {
         out: &mut Vec<Path>,
     ) {
         if cur == t {
+            // sor-check: allow(unwrap) — invariant stated in the expect message
             let p = Path::from_edges(g, s, edge_stack.clone()).expect("DFS builds valid paths");
             out.push(p);
             return;

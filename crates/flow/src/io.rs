@@ -58,6 +58,7 @@ pub fn demand_from_text(text: &str, num_nodes: usize) -> Result<Demand, String> 
             .ok_or("missing amount")?
             .parse()
             .map_err(|_| format!("line {}: bad amount", i + 2))?;
+        // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
         if s as usize >= num_nodes || t as usize >= num_nodes {
             return Err(format!("line {}: vertex out of range", i + 2));
         }
@@ -84,10 +85,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let d = Demand::from_triples([
-            (NodeId(0), NodeId(3), 1.5),
-            (NodeId(2), NodeId(1), 0.25),
-        ]);
+        let d = Demand::from_triples([(NodeId(0), NodeId(3), 1.5), (NodeId(2), NodeId(1), 0.25)]);
         let text = demand_to_text(&d);
         let back = demand_from_text(&text, 4).unwrap();
         assert_eq!(back, d);

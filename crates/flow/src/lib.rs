@@ -42,6 +42,7 @@ pub mod io;
 pub mod loads;
 pub mod restricted;
 pub mod rounding;
+pub mod validate;
 
 pub use concurrent::{max_concurrent_flow, max_concurrent_flow_grouped, opt_congestion, OptResult};
 pub use demand::Demand;
@@ -49,3 +50,4 @@ pub use io::{demand_from_text, demand_to_text};
 pub use loads::EdgeLoads;
 pub use restricted::{restricted_min_congestion, RestrictedSolution};
 pub use rounding::{round_and_improve, IntegralSolution};
+pub use validate::{check_flow_conservation, check_integral, check_restricted};

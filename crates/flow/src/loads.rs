@@ -1,6 +1,6 @@
 //! Per-edge load accounting.
 
-use sor_graph::{EdgeId, Graph, Path};
+use sor_graph::{Capacity, Congestion, EdgeId, Graph, Path, Rate};
 
 /// Accumulated (fractional) load per edge. Congestion of an edge is its
 /// load divided by its capacity; for the paper's unit-capacity multigraphs
@@ -13,7 +13,9 @@ pub struct EdgeLoads {
 impl EdgeLoads {
     /// Zero loads for a graph with `m` edges.
     pub fn zeros(m: usize) -> Self {
-        EdgeLoads { loads: vec![0.0; m] }
+        EdgeLoads {
+            loads: vec![0.0; m],
+        }
     }
 
     /// Zero loads shaped to `g`.
@@ -79,7 +81,7 @@ impl EdgeLoads {
         for (i, (&l, e)) in self.loads.iter().zip(g.edges()).enumerate() {
             let c = l / e.cap;
             if best.is_none_or(|(bc, _)| c > bc) {
-                best = Some((c, EdgeId(i as u32)));
+                best = Some((c, EdgeId::from_usize(i)));
             }
         }
         best.map(|(_, e)| e)
@@ -88,6 +90,27 @@ impl EdgeLoads {
     /// Total load across edges (≈ flow volume × average hops).
     pub fn total(&self) -> f64 {
         self.loads.iter().sum()
+    }
+
+    /// Load of edge `e` as a typed [`Rate`] (validated non-negative and
+    /// finite).
+    pub fn rate(&self, e: EdgeId) -> Rate {
+        Rate::new(self.loads[e.index()])
+    }
+
+    /// Congestion of a single edge as the typed quotient
+    /// [`Rate`]` / `[`Capacity`].
+    pub fn edge_congestion(&self, e: EdgeId, cap: Capacity) -> Congestion {
+        self.rate(e) / cap
+    }
+
+    /// Maximum congestion as a typed [`Congestion`]; the typed counterpart
+    /// of [`EdgeLoads::congestion`].
+    pub fn max_congestion(&self, g: &Graph) -> Congestion {
+        assert_eq!(self.loads.len(), g.num_edges());
+        g.edge_ids()
+            .map(|e| self.edge_congestion(e, g.capacity(e)))
+            .fold(Congestion::ZERO, Congestion::max)
     }
 }
 
@@ -128,6 +151,21 @@ mod tests {
         a.add(&b);
         a.scale(0.5);
         assert!((a.max_load() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn typed_congestion_matches_raw() {
+        let mut g = sor_graph::Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), 4.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        let p = sor_graph::bfs_path(&g, NodeId(0), NodeId(2)).unwrap();
+        let mut l = EdgeLoads::for_graph(&g);
+        l.add_path(&p, 2.0);
+        assert_eq!(l.rate(e0), 2.0);
+        assert_eq!(l.edge_congestion(e0, g.capacity(e0)), 0.5);
+        let c = l.max_congestion(&g);
+        assert_eq!(c, l.congestion(&g));
+        assert_eq!(c, 2.0);
     }
 
     #[test]

@@ -98,7 +98,9 @@ pub fn restricted_min_congestion(
                     .iter()
                     .enumerate()
                     .map(|(i, p)| (i, p.length(&len)))
+                    // sor-check: allow(unwrap) — invariant stated in the expect message
                     .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN length"))
+                    // sor-check: allow(unwrap) — invariant stated in the expect message
                     .expect("nonempty candidates");
                 let path = &entry.paths[best];
                 let bottleneck = path
@@ -147,12 +149,19 @@ pub fn restricted_min_congestion(
     }
     let lower_bound = alpha / volume;
 
-    RestrictedSolution {
+    let sol = RestrictedSolution {
         weights,
         loads,
         congestion,
         lower_bound,
+    };
+    if crate::validate::validators_enabled() {
+        if let Err(msg) = crate::validate::check_restricted(g, entries, &sol) {
+            // sor-check: allow(unwrap) — validator failure means a solver bug, not recoverable state
+            panic!("restricted_min_congestion produced an invalid solution: {msg}");
+        }
     }
+    sol
 }
 
 #[cfg(test)]

@@ -59,6 +59,7 @@ pub fn round_and_improve<R: Rng>(
             "integral rounding needs an integral demand, got {}",
             entry.demand
         );
+        // sor-check: allow(lossy-cast) — integrality and range asserted above
         let units = d as u32;
         let mut c = vec![0u32; entry.paths.len()];
         if units > 0 {
@@ -119,11 +120,18 @@ pub fn round_and_improve<R: Rng>(
     }
 
     let congestion = loads.congestion(g);
-    IntegralSolution {
+    let sol = IntegralSolution {
         counts,
         loads,
         congestion,
+    };
+    if crate::validate::validators_enabled() {
+        if let Err(msg) = crate::validate::check_integral(g, entries, &sol) {
+            // sor-check: allow(unwrap) — validator failure means a solver bug, not recoverable state
+            panic!("round_and_improve produced an invalid assignment: {msg}");
+        }
     }
+    sol
 }
 
 /// Potential change of moving one unit from path `a` to path `b`. Only

@@ -5,8 +5,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sor_flow::demand::{random_matching, random_one_demand};
 use sor_flow::exact::{
-    all_simple_paths, exact_integral_opt, exact_integral_restricted,
-    exact_single_pair_fractional,
+    all_simple_paths, exact_integral_opt, exact_integral_restricted, exact_single_pair_fractional,
 };
 use sor_flow::restricted::{restricted_min_congestion, RestrictedEntry};
 use sor_flow::rounding::round_and_improve;

@@ -7,7 +7,7 @@ pub fn path_graph(n: usize) -> Graph {
     assert!(n >= 1);
     let mut g = Graph::new(n);
     for i in 0..n.saturating_sub(1) {
-        g.add_unit_edge(NodeId(i as u32), NodeId(i as u32 + 1));
+        g.add_unit_edge(NodeId::from_usize(i), NodeId::from_usize(i + 1));
     }
     g
 }
@@ -17,7 +17,7 @@ pub fn cycle_graph(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs at least 3 vertices");
     let mut g = Graph::new(n);
     for i in 0..n {
-        g.add_unit_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32));
+        g.add_unit_edge(NodeId::from_usize(i), NodeId::from_usize((i + 1) % n));
     }
     g
 }
@@ -28,7 +28,7 @@ pub fn complete_graph(n: usize) -> Graph {
     let mut g = Graph::new(n);
     for i in 0..n {
         for j in i + 1..n {
-            g.add_unit_edge(NodeId(i as u32), NodeId(j as u32));
+            g.add_unit_edge(NodeId::from_usize(i), NodeId::from_usize(j));
         }
     }
     g
@@ -39,7 +39,7 @@ pub fn star(leaves: usize) -> Graph {
     assert!(leaves >= 1);
     let mut g = Graph::new(leaves + 1);
     for i in 1..=leaves {
-        g.add_unit_edge(NodeId(0), NodeId(i as u32));
+        g.add_unit_edge(NodeId(0), NodeId::from_usize(i));
     }
     g
 }
@@ -50,7 +50,7 @@ pub fn star(leaves: usize) -> Graph {
 pub fn grid(rows: usize, cols: usize) -> Graph {
     assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
     let mut g = Graph::new(rows * cols);
-    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    let id = |r: usize, c: usize| NodeId::from_usize(r * cols + c);
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
@@ -69,7 +69,7 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 pub fn torus(rows: usize, cols: usize) -> Graph {
     assert!(rows >= 3 && cols >= 3, "torus needs both dims >= 3");
     let mut g = Graph::new(rows * cols);
-    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    let id = |r: usize, c: usize| NodeId::from_usize(r * cols + c);
     for r in 0..rows {
         for c in 0..cols {
             g.add_unit_edge(id(r, c), id(r, (c + 1) % cols));
@@ -92,12 +92,12 @@ pub fn dumbbell(k: usize, bridges: usize) -> Graph {
     let mut g = Graph::new(2 * k);
     for i in 0..k {
         for j in i + 1..k {
-            g.add_unit_edge(NodeId(i as u32), NodeId(j as u32));
-            g.add_unit_edge(NodeId((k + i) as u32), NodeId((k + j) as u32));
+            g.add_unit_edge(NodeId::from_usize(i), NodeId::from_usize(j));
+            g.add_unit_edge(NodeId::from_usize(k + i), NodeId::from_usize(k + j));
         }
     }
     for b in 0..bridges {
-        g.add_unit_edge(NodeId(b as u32), NodeId((k + b) as u32));
+        g.add_unit_edge(NodeId::from_usize(b), NodeId::from_usize(k + b));
     }
     g
 }

@@ -18,11 +18,7 @@ pub fn clos(spines: usize, leaves: usize, cap: f64) -> Graph {
     let mut g = Graph::new(spines + leaves);
     for l in 0..leaves {
         for s in 0..spines {
-            g.add_edge(
-                NodeId((spines + l) as u32),
-                NodeId(s as u32),
-                cap,
-            );
+            g.add_edge(NodeId::from_usize(spines + l), NodeId::from_usize(s), cap);
         }
     }
     g
@@ -30,12 +26,12 @@ pub fn clos(spines: usize, leaves: usize, cap: f64) -> Graph {
 
 /// NodeId of spine `i` in a [`clos`] graph.
 pub fn clos_spine(i: usize) -> NodeId {
-    NodeId(i as u32)
+    NodeId::from_usize(i)
 }
 
 /// NodeId of leaf `i` in a [`clos`] graph built with `spines` spines.
 pub fn clos_leaf(spines: usize, i: usize) -> NodeId {
-    NodeId((spines + i) as u32)
+    NodeId::from_usize(spines + i)
 }
 
 #[cfg(test)]

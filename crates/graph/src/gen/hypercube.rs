@@ -20,7 +20,7 @@ pub fn hypercube(d: usize) -> Graph {
         for b in 0..d {
             let j = i ^ (1 << b);
             if j > i {
-                g.add_unit_edge(NodeId(i as u32), NodeId(j as u32));
+                g.add_unit_edge(NodeId::from_usize(i), NodeId::from_usize(j));
             }
         }
     }
@@ -41,7 +41,7 @@ pub fn bit_reversal_perm(d: usize) -> Vec<(NodeId, NodeId)> {
                     y |= 1 << (d - 1 - b);
                 }
             }
-            (NodeId(x as u32), NodeId(y as u32))
+            (NodeId::from_usize(x), NodeId::from_usize(y))
         })
         .collect()
 }
@@ -50,7 +50,10 @@ pub fn bit_reversal_perm(d: usize) -> Vec<(NodeId, NodeId)> {
 /// viewed as a 2×(d/2) matrix (high half, low half) and transposed, i.e.
 /// halves are swapped. Another classical hard instance for greedy routing.
 pub fn transpose_perm(d: usize) -> Vec<(NodeId, NodeId)> {
-    assert!(d.is_multiple_of(2), "transpose permutation needs even dimension");
+    assert!(
+        d.is_multiple_of(2),
+        "transpose permutation needs even dimension"
+    );
     let h = d / 2;
     let n = 1usize << d;
     let mask = (1usize << h) - 1;
@@ -59,7 +62,7 @@ pub fn transpose_perm(d: usize) -> Vec<(NodeId, NodeId)> {
             let lo = x & mask;
             let hi = x >> h;
             let y = (lo << h) | hi;
-            (NodeId(x as u32), NodeId(y as u32))
+            (NodeId::from_usize(x), NodeId::from_usize(y))
         })
         .collect()
 }
@@ -68,6 +71,7 @@ pub fn transpose_perm(d: usize) -> Vec<(NodeId, NodeId)> {
 /// of two.
 pub fn dim_of(n: usize) -> Option<usize> {
     if n.is_power_of_two() {
+        // sor-check: allow(lossy-cast) — u32 → usize never truncates on supported targets
         Some(n.trailing_zeros() as usize)
     } else {
         None

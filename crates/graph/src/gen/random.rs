@@ -21,7 +21,7 @@ pub fn erdos_renyi_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
         for i in 0..n {
             for j in i + 1..n {
                 if rng.gen_bool(p) {
-                    g.add_unit_edge(NodeId(i as u32), NodeId(j as u32));
+                    g.add_unit_edge(NodeId::from_usize(i), NodeId::from_usize(j));
                 }
             }
         }
@@ -29,6 +29,7 @@ pub fn erdos_renyi_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
             return g;
         }
     }
+    // sor-check: allow(unwrap) — documented failure mode for unsatisfiable parameters
     panic!("failed to sample a connected G({n}, {p}) in 1000 attempts — p too small?");
 }
 
@@ -40,18 +41,17 @@ pub fn erdos_renyi_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
 pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
     assert!(d >= 1 && d < n, "need 1 <= d < n");
     assert!((n * d).is_multiple_of(2), "n*d must be even");
+    // sor-check: allow(unwrap) — d < n is asserted above
+    let n32: u32 = n.try_into().expect("vertex count n exceeds u32 range");
     let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
-    for v in 0..n as u32 {
+    for v in 0..n32 {
         for _ in 0..d {
             stubs.push(v);
         }
     }
     'attempt: for _ in 0..1000 {
         stubs.shuffle(rng);
-        let mut pairs: Vec<(u32, u32)> = stubs
-            .chunks_exact(2)
-            .map(|p| (p[0], p[1]))
-            .collect();
+        let mut pairs: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
         let key = |u: u32, v: u32| (u.min(v), u.max(v));
         // `seen` holds the keys of *good* pairings only; bad pairings
         // (self-loops, or the second copy of a duplicate key) are listed in
@@ -104,6 +104,7 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
             return g;
         }
     }
+    // sor-check: allow(unwrap) — documented failure mode for unsatisfiable parameters
     panic!("failed to sample a simple connected {d}-regular graph on {n} vertices");
 }
 
@@ -124,7 +125,7 @@ pub fn random_geometric<R: Rng>(n: usize, radius: f64, rng: &mut R) -> Graph {
                 let dx = pts[i].0 - pts[j].0;
                 let dy = pts[i].1 - pts[j].1;
                 if dx * dx + dy * dy <= r2 {
-                    g.add_unit_edge(NodeId(i as u32), NodeId(j as u32));
+                    g.add_unit_edge(NodeId::from_usize(i), NodeId::from_usize(j));
                 }
             }
         }
@@ -132,6 +133,7 @@ pub fn random_geometric<R: Rng>(n: usize, radius: f64, rng: &mut R) -> Graph {
             return g;
         }
     }
+    // sor-check: allow(unwrap) — documented failure mode for unsatisfiable parameters
     panic!("failed to sample a connected geometric graph — radius too small?");
 }
 
@@ -140,15 +142,26 @@ pub fn random_geometric<R: Rng>(n: usize, radius: f64, rng: &mut R) -> Graph {
 /// edge's far endpoint rewired with probability `beta`. Resampled until
 /// connected and simple.
 pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
-    assert!(k >= 2 && k.is_multiple_of(2) && k < n, "need even 2 <= k < n");
+    assert!(
+        k >= 2 && k.is_multiple_of(2) && k < n,
+        "need even 2 <= k < n"
+    );
     assert!((0.0..=1.0).contains(&beta));
     'attempt: for _ in 0..1000 {
         // edge set as (min, max) pairs to keep the graph simple
         let mut edges: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
         let key = |a: u32, b: u32| (a.min(b), a.max(b));
-        for i in 0..n as u32 {
-            for d in 1..=(k / 2) as u32 {
-                edges.insert(key(i, (i + d) % n as u32));
+        // ring arithmetic runs in u32 node-id space; k < n < u32::MAX is
+        // enforced by the assert above plus Graph::new below
+        // sor-check: allow(unwrap)
+        let n32: u32 = n.try_into().expect("vertex count n exceeds u32 range");
+        let half_k: u32 = (k / 2)
+            .try_into()
+            // sor-check: allow(unwrap)
+            .expect("neighbor count k exceeds u32 range");
+        for i in 0..n32 {
+            for d in 1..=half_k {
+                edges.insert(key(i, (i + d) % n32));
             }
         }
         let ring: Vec<(u32, u32)> = edges.iter().copied().collect();
@@ -161,7 +174,7 @@ pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Gra
                     if tries > 100 {
                         continue 'attempt;
                     }
-                    let w = rng.gen_range(0..n as u32);
+                    let w = rng.gen_range(0..n32);
                     if w != u && !edges.contains(&key(u, w)) {
                         edges.remove(&key(u, v));
                         edges.insert(key(u, w));
@@ -180,6 +193,7 @@ pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Gra
             return g;
         }
     }
+    // sor-check: allow(unwrap) — documented failure mode for unsatisfiable parameters
     panic!("failed to sample a connected small-world graph");
 }
 

@@ -32,13 +32,13 @@ impl TwoStar {
         let c1 = NodeId(0);
         let c2 = NodeId(1);
         for i in 0..r {
-            let mid = NodeId((2 + i) as u32);
+            let mid = NodeId::from_usize(2 + i);
             g.add_unit_edge(c1, mid);
             g.add_unit_edge(mid, c2);
         }
         for i in 0..m {
-            g.add_unit_edge(c1, NodeId((2 + r + i) as u32));
-            g.add_unit_edge(c2, NodeId((2 + r + m + i) as u32));
+            g.add_unit_edge(c1, NodeId::from_usize(2 + r + i));
+            g.add_unit_edge(c2, NodeId::from_usize(2 + r + m + i));
         }
         TwoStar { r, m, graph: g }
     }
@@ -76,19 +76,19 @@ impl TwoStar {
     /// The `i`-th middle vertex (`i < r`).
     pub fn middle(&self, i: usize) -> NodeId {
         assert!(i < self.r);
-        NodeId((2 + i) as u32)
+        NodeId::from_usize(2 + i)
     }
 
     /// The `i`-th left leaf (`i < m`).
     pub fn left_leaf(&self, i: usize) -> NodeId {
         assert!(i < self.m);
-        NodeId((2 + self.r + i) as u32)
+        NodeId::from_usize(2 + self.r + i)
     }
 
     /// The `i`-th right leaf (`i < m`).
     pub fn right_leaf(&self, i: usize) -> NodeId {
         assert!(i < self.m);
-        NodeId((2 + self.r + self.m + i) as u32)
+        NodeId::from_usize(2 + self.r + self.m + i)
     }
 
     /// Whether `v` is a middle vertex.
@@ -110,7 +110,7 @@ pub struct TwoStarChain {
     /// (r, m) of each block, in order.
     specs: Vec<(usize, usize)>,
     /// Vertex-id offset of each block within the combined graph.
-    offsets: Vec<u32>,
+    offsets: Vec<usize>,
     graph: Graph,
 }
 
@@ -119,28 +119,28 @@ impl TwoStarChain {
     pub fn new(specs: &[(usize, usize)]) -> Self {
         assert!(!specs.is_empty());
         let mut offsets = Vec::with_capacity(specs.len());
-        let mut total = 0u32;
+        let mut total = 0usize;
         for &(r, m) in specs {
             offsets.push(total);
-            total += (2 + r + 2 * m) as u32;
+            total += 2 + r + 2 * m;
         }
-        let mut g = Graph::new(total as usize);
+        let mut g = Graph::new(total);
         for (b, &(r, m)) in specs.iter().enumerate() {
             let off = offsets[b];
-            let c1 = NodeId(off);
-            let c2 = NodeId(off + 1);
-            for i in 0..r as u32 {
-                let mid = NodeId(off + 2 + i);
+            let c1 = NodeId::from_usize(off);
+            let c2 = NodeId::from_usize(off + 1);
+            for i in 0..r {
+                let mid = NodeId::from_usize(off + 2 + i);
                 g.add_unit_edge(c1, mid);
                 g.add_unit_edge(mid, c2);
             }
-            for i in 0..m as u32 {
-                g.add_unit_edge(c1, NodeId(off + 2 + r as u32 + i));
-                g.add_unit_edge(c2, NodeId(off + 2 + r as u32 + m as u32 + i));
+            for i in 0..m {
+                g.add_unit_edge(c1, NodeId::from_usize(off + 2 + r + i));
+                g.add_unit_edge(c2, NodeId::from_usize(off + 2 + r + m + i));
             }
             if b > 0 {
                 // bridge from the previous block's left center
-                g.add_unit_edge(NodeId(offsets[b - 1]), c1);
+                g.add_unit_edge(NodeId::from_usize(offsets[b - 1]), c1);
             }
         }
         TwoStarChain {
@@ -168,28 +168,28 @@ impl TwoStarChain {
     /// Left/right center of block `b`.
     pub fn centers(&self, b: usize) -> (NodeId, NodeId) {
         let off = self.offsets[b];
-        (NodeId(off), NodeId(off + 1))
+        (NodeId::from_usize(off), NodeId::from_usize(off + 1))
     }
 
     /// The `i`-th middle vertex of block `b`.
     pub fn middle(&self, b: usize, i: usize) -> NodeId {
         let (r, _) = self.specs[b];
         assert!(i < r);
-        NodeId(self.offsets[b] + 2 + i as u32)
+        NodeId::from_usize(self.offsets[b] + 2 + i)
     }
 
     /// The `i`-th left leaf of block `b`.
     pub fn left_leaf(&self, b: usize, i: usize) -> NodeId {
         let (r, m) = self.specs[b];
         assert!(i < m);
-        NodeId(self.offsets[b] + (2 + r + i) as u32)
+        NodeId::from_usize(self.offsets[b] + (2 + r + i))
     }
 
     /// The `i`-th right leaf of block `b`.
     pub fn right_leaf(&self, b: usize, i: usize) -> NodeId {
         let (r, m) = self.specs[b];
         assert!(i < m);
-        NodeId(self.offsets[b] + (2 + r + m + i) as u32)
+        NodeId::from_usize(self.offsets[b] + (2 + r + m + i))
     }
 }
 

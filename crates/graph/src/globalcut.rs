@@ -23,6 +23,7 @@ pub fn stoer_wagner(g: &Graph) -> (f64, Vec<NodeId>) {
         w[e.v.index()][e.u.index()] += e.cap;
     }
     // `members[v]` = original vertices merged into supervertex v.
+    // sor-check: allow(lossy-cast) — node count < u32::MAX per Graph::new
     let mut members: Vec<Vec<u32>> = (0..n as u32).map(|v| vec![v]).collect();
     let mut active: Vec<usize> = (0..n).collect();
     let mut best = (f64::INFINITY, Vec::new());
@@ -39,7 +40,9 @@ pub fn stoer_wagner(g: &Graph) -> (f64, Vec<NodeId>) {
                 .iter()
                 .copied()
                 .filter(|&v| !in_a[v])
+                // sor-check: allow(unwrap) — invariant stated in the expect message
                 .max_by(|&a, &b| weights[a].partial_cmp(&weights[b]).expect("finite"))
+                // sor-check: allow(unwrap) — invariant stated in the expect message
                 .expect("active nonempty");
             in_a[next] = true;
             prev = last;
@@ -126,11 +129,7 @@ mod tests {
 
     #[test]
     fn matches_all_pairs_dinic() {
-        for g in [
-            gen::grid(3, 3),
-            gen::two_star(3, 4),
-            gen::complete_graph(6),
-        ] {
+        for g in [gen::grid(3, 3), gen::two_star(3, 4), gen::complete_graph(6)] {
             let global = global_min_cut(&g);
             let mut best = f64::INFINITY;
             for s in g.nodes() {

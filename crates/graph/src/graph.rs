@@ -1,5 +1,6 @@
 //! The undirected multigraph type and its identifiers.
 
+use crate::units::Capacity;
 use std::fmt;
 
 /// Index of a vertex in a [`Graph`]. Stored as `u32` to keep adjacency
@@ -17,7 +18,17 @@ impl NodeId {
     /// The vertex index as a `usize`, for container indexing.
     #[inline]
     pub fn index(self) -> usize {
+        // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
         self.0 as usize
+    }
+
+    /// The checked typed constructor from a container index: the sanctioned
+    /// way to build ids from `usize` arithmetic (a bare `idx as u32` is a
+    /// `lossy-cast` lint violation under `sor-check`).
+    #[inline]
+    pub fn from_usize(idx: usize) -> NodeId {
+        // sor-check: allow(unwrap) — expect carries the offending index
+        NodeId(idx.try_into().expect("node index exceeds u32 range"))
     }
 }
 
@@ -25,7 +36,16 @@ impl EdgeId {
     /// The edge index as a `usize`, for container indexing.
     #[inline]
     pub fn index(self) -> usize {
+        // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
         self.0 as usize
+    }
+
+    /// The checked typed constructor from a container index; see
+    /// [`NodeId::from_usize`].
+    #[inline]
+    pub fn from_usize(idx: usize) -> EdgeId {
+        // sor-check: allow(unwrap) — expect carries the offending index
+        EdgeId(idx.try_into().expect("edge index exceeds u32 range"))
     }
 }
 
@@ -88,7 +108,9 @@ impl Graph {
     /// An empty graph on `n` isolated vertices.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "graph must have at least one vertex");
-        assert!(n < u32::MAX as usize, "vertex count exceeds u32 index space");
+        // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
+        let max_n = u32::MAX as usize;
+        assert!(n < max_n, "vertex count exceeds u32 index space");
         Graph {
             n,
             edges: Vec::new(),
@@ -110,12 +132,13 @@ impl Graph {
 
     /// Iterator over all vertex ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        // sor-check: allow(lossy-cast) — n < u32::MAX asserted in `new`
         (0..self.n as u32).map(NodeId)
     }
 
     /// Iterator over all edge ids.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        (0..self.edges.len() as u32).map(EdgeId)
+        (0..self.edges.len()).map(EdgeId::from_usize)
     }
 
     /// All edge records, indexed by [`EdgeId`].
@@ -130,10 +153,18 @@ impl Graph {
         &self.edges[e.index()]
     }
 
-    /// Capacity of edge `e`.
+    /// Capacity of edge `e` as a raw `f64` (legacy accessor; prefer
+    /// [`Graph::capacity`] in new code).
     #[inline]
     pub fn cap(&self, e: EdgeId) -> f64 {
         self.edges[e.index()].cap
+    }
+
+    /// Capacity of edge `e` as a typed [`Capacity`]. Always valid:
+    /// [`Graph::add_edge`] rejects non-positive and non-finite values.
+    #[inline]
+    pub fn capacity(&self, e: EdgeId) -> Capacity {
+        Capacity::new(self.edges[e.index()].cap)
     }
 
     /// Add an undirected edge `{u, v}` with capacity `cap`; returns its id.
@@ -141,10 +172,16 @@ impl Graph {
     /// Self-loops are rejected (they can never appear on a simple path) and
     /// capacities must be positive and finite.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, cap: f64) -> EdgeId {
-        assert!(u.index() < self.n && v.index() < self.n, "endpoint out of range");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "endpoint out of range"
+        );
         assert!(u != v, "self-loops are not allowed");
-        assert!(cap.is_finite() && cap > 0.0, "capacity must be positive and finite");
-        let id = EdgeId(self.edges.len() as u32);
+        assert!(
+            cap.is_finite() && cap > 0.0,
+            "capacity must be positive and finite"
+        );
+        let id = EdgeId::from_usize(self.edges.len());
         self.edges.push(EdgeRec { u, v, cap });
         self.adj[u.index()].push((id, v));
         self.adj[v.index()].push((id, u));
@@ -171,10 +208,7 @@ impl Graph {
 
     /// Sum of capacities of edges incident to `u` (the "capacitated degree").
     pub fn cap_degree(&self, u: NodeId) -> f64 {
-        self.adj[u.index()]
-            .iter()
-            .map(|&(e, _)| self.cap(e))
-            .sum()
+        self.adj[u.index()].iter().map(|&(e, _)| self.cap(e)).sum()
     }
 
     /// Total capacity over all edges.
@@ -184,7 +218,10 @@ impl Graph {
 
     /// Smallest capacity over all edges (`+inf` for an edgeless graph).
     pub fn min_cap(&self) -> f64 {
-        self.edges.iter().map(|e| e.cap).fold(f64::INFINITY, f64::min)
+        self.edges
+            .iter()
+            .map(|e| e.cap)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Uniform edge lengths (all `1.0`), the default metric for shortest
@@ -205,7 +242,7 @@ impl Graph {
     pub fn without_edges(&self, remove: &[EdgeId]) -> Graph {
         let mut g = Graph::new(self.n);
         for (i, e) in self.edges.iter().enumerate() {
-            if !remove.contains(&EdgeId(i as u32)) {
+            if !remove.contains(&EdgeId::from_usize(i)) {
                 g.add_edge(e.u, e.v, e.cap);
             }
         }

@@ -35,6 +35,7 @@ pub fn yen_ksp(g: &Graph, s: NodeId, t: NodeId, k: usize, lengths: &[f64]) -> Ve
     accepted.push(first);
 
     while accepted.len() < k {
+        // sor-check: allow(unwrap) — invariant stated in the expect message
         let prev = accepted.last().expect("nonempty").clone();
         // Spur from each vertex of the previous path except the target.
         for i in 0..prev.hops() {
@@ -63,6 +64,7 @@ pub fn yen_ksp(g: &Graph, s: NodeId, t: NodeId, k: usize, lengths: &[f64]) -> Ve
                 continue; // only reachable through banned edges
             }
             let root = Path::from_edges(g, s, root_edges.to_vec())
+                // sor-check: allow(unwrap) — invariant stated in the expect message
                 .expect("prefix of a valid path is valid");
             let Some(total) = root.join_simplified(&spur_path) else {
                 continue;
@@ -73,8 +75,8 @@ pub fn yen_ksp(g: &Graph, s: NodeId, t: NodeId, k: usize, lengths: &[f64]) -> Ve
                 continue;
             }
             let total_len = total.length(lengths);
-            let duplicate = accepted.contains(&total)
-                || candidates.iter().any(|(_, p)| *p == total);
+            let duplicate =
+                accepted.contains(&total) || candidates.iter().any(|(_, p)| *p == total);
             if !duplicate {
                 candidates.push((total_len, total));
             }
@@ -86,8 +88,10 @@ pub fn yen_ksp(g: &Graph, s: NodeId, t: NodeId, k: usize, lengths: &[f64]) -> Ve
         let best = candidates
             .iter()
             .enumerate()
+            // sor-check: allow(unwrap) — invariant stated in the expect message
             .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("NaN length"))
             .map(|(i, _)| i)
+            // sor-check: allow(unwrap) — invariant stated in the expect message
             .expect("nonempty");
         let (_, path) = candidates.swap_remove(best);
         accepted.push(path);
@@ -123,9 +127,7 @@ mod tests {
         let ps = yen_ksp(&g, NodeId(0), NodeId(8), 6, &g.unit_lengths());
         assert!(ps.len() >= 3);
         for w in ps.windows(2) {
-            assert!(
-                w[0].length(&g.unit_lengths()) <= w[1].length(&g.unit_lengths()) + 1e-9
-            );
+            assert!(w[0].length(&g.unit_lengths()) <= w[1].length(&g.unit_lengths()) + 1e-9);
             assert_ne!(w[0], w[1]);
         }
         for p in &ps {

@@ -42,25 +42,27 @@
 //! assert!(paths.iter().all(|p| p.hops() == 3));
 //! ```
 
-mod graph;
-mod path;
 pub mod connectivity;
 pub mod gen;
 pub mod globalcut;
+mod graph;
 pub mod io;
 pub mod ksp;
 pub mod maxflow;
+mod path;
 pub mod shortest;
 pub mod spectral;
 pub mod traversal;
+pub mod units;
 
 pub use connectivity::{articulation_points, bridges, connected_without};
 pub use globalcut::{global_min_cut, stoer_wagner};
-pub use io::{graph_from_text, graph_to_text};
 pub use graph::{EdgeId, EdgeRec, Graph, NodeId};
+pub use io::{graph_from_text, graph_to_text};
 pub use ksp::yen_ksp;
 pub use maxflow::{max_flow, st_min_cut};
 pub use path::Path;
 pub use shortest::{dijkstra, shortest_path, ShortestPathTree};
 pub use spectral::{is_expander, spectral_gap};
 pub use traversal::{bfs_dists, bfs_path, diameter, is_connected};
+pub use units::{Capacity, Congestion, Rate};

@@ -32,10 +32,20 @@ impl Dinic {
         // c+f "backward", which is exactly undirected residual capacity.
         for e in g.edges() {
             let (u, v, c) = (e.u.index(), e.v.index(), e.cap);
+            // sor-check: allow(lossy-cast) — arc count ≤ 2·edges < u32::MAX
             let iu = arcs[u].len() as u32;
+            // sor-check: allow(lossy-cast) — arc count ≤ 2·edges < u32::MAX
             let iv = arcs[v].len() as u32;
-            arcs[u].push(Arc { to: e.v.0, cap: c, rev: iv });
-            arcs[v].push(Arc { to: e.u.0, cap: c, rev: iu });
+            arcs[u].push(Arc {
+                to: e.v.0,
+                cap: c,
+                rev: iv,
+            });
+            arcs[v].push(Arc {
+                to: e.u.0,
+                cap: c,
+                rev: iu,
+            });
         }
         Dinic {
             arcs,
@@ -51,8 +61,11 @@ impl Dinic {
         q.push_back(s);
         while let Some(u) = q.pop_front() {
             for a in &self.arcs[u] {
+                // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
                 if a.cap > EPS && self.level[a.to as usize] < 0 {
+                    // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
                     self.level[a.to as usize] = self.level[u] + 1;
+                    // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
                     q.push_back(a.to as usize);
                 }
             }
@@ -68,6 +81,7 @@ impl Dinic {
             let i = self.iter[u];
             let (to, cap, rev) = {
                 let a = &self.arcs[u][i];
+                // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
                 (a.to as usize, a.cap, a.rev as usize)
             };
             if cap > EPS && self.level[to] == self.level[u] + 1 {

@@ -84,6 +84,7 @@ impl Path {
     /// Last vertex.
     #[inline]
     pub fn target(&self) -> NodeId {
+        // sor-check: allow(unwrap) — invariant stated in the expect message
         *self.nodes.last().expect("paths are nonempty")
     }
 
@@ -301,10 +302,7 @@ mod tests {
         let b = Path::from_nodes(&g, &[NodeId(3), NodeId(2), NodeId(4)]).unwrap();
         let j = a.join_simplified(&b).unwrap();
         assert!(j.validate(&g));
-        assert_eq!(
-            j.nodes(),
-            &[NodeId(0), NodeId(1), NodeId(2), NodeId(4)]
-        );
+        assert_eq!(j.nodes(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(4)]);
     }
 
     #[test]

@@ -32,6 +32,7 @@ impl Ord for HeapEntry {
         other
             .dist
             .partial_cmp(&self.dist)
+            // sor-check: allow(unwrap) — invariant stated in the expect message
             .expect("NaN distance in Dijkstra heap")
             .then_with(|| other.node.0.cmp(&self.node.0))
     }

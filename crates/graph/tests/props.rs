@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sor_graph::{
-    bfs_dists, bridges, connected_without, dijkstra, gen, global_min_cut, max_flow,
-    spectral_gap, st_min_cut, yen_ksp, Graph, NodeId,
+    bfs_dists, bridges, connected_without, dijkstra, gen, global_min_cut, max_flow, spectral_gap,
+    st_min_cut, yen_ksp, Graph, NodeId,
 };
 
 fn arb_graph(n: usize, seed: u64) -> Graph {

@@ -132,6 +132,7 @@ impl HopRouting {
     fn fallback(&self, s: NodeId, t: NodeId) -> Path {
         dijkstra(&self.g, s, &self.fallback_lengths)
             .path_to(&self.g, t)
+            // sor-check: allow(unwrap) — invariant stated in the expect message
             .expect("connected graph")
     }
 }
@@ -151,7 +152,11 @@ impl ObliviousRouting for HopRouting {
         let mut merged: HashMap<Path, f64> = HashMap::new();
         for tree in &self.trees {
             let p = tree.route(s, t);
-            let p = if p.hops() <= cap { p } else { self.fallback(s, t) };
+            let p = if p.hops() <= cap {
+                p
+            } else {
+                self.fallback(s, t)
+            };
             *merged.entry(p).or_insert(0.0) += w;
         }
         let mut dist: PathDist = merged.into_iter().collect();
@@ -204,6 +209,7 @@ impl HopFamily {
         self.scales
             .iter()
             .find(|r| r.hop_bound() >= h)
+            // sor-check: allow(unwrap) — invariant stated in the expect message
             .unwrap_or_else(|| self.scales.last().expect("nonempty"))
     }
 
@@ -249,7 +255,10 @@ mod tests {
         ];
         for idx in 0..fam.scales().len() {
             let stretch = fam.measured_stretch(idx, &pairs);
-            assert!(stretch <= 4.0 + 1e-9, "stretch {stretch} exceeds configured 4");
+            assert!(
+                stretch <= 4.0 + 1e-9,
+                "stretch {stretch} exceeds configured 4"
+            );
         }
     }
 

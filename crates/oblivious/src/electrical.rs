@@ -172,6 +172,7 @@ pub fn decompose_flow(g: &Graph, s: NodeId, t: NodeId, mut flow: Vec<f64>) -> Pa
                 node = rec.u;
             }
         }
+        // sor-check: allow(unwrap) — invariant stated in the expect message
         let path = Path::from_edges(g, s, edges).expect("walk is simple by construction");
         dist.push((path, amount));
         total += amount;
@@ -328,9 +329,8 @@ mod tests {
         // A flow that is all zeros must panic (lost flow) — guards against
         // silently returning an empty distribution.
         let g = gen::cycle_graph(4);
-        let res = std::panic::catch_unwind(|| {
-            decompose_flow(&g, NodeId(0), NodeId(2), vec![0.0; 4])
-        });
+        let res =
+            std::panic::catch_unwind(|| decompose_flow(&g, NodeId(0), NodeId(2), vec![0.0; 4]));
         assert!(res.is_err());
     }
 

@@ -118,10 +118,7 @@ impl FrtTree {
         let mut frontier = vec![0usize];
         let mut level = top;
         while !frontier.is_empty() {
-            assert!(
-                level >= bottom,
-                "FRT refinement failed to reach singletons"
-            );
+            assert!(level >= bottom, "FRT refinement failed to reach singletons");
             let radius = beta * (level as f64).exp2();
             let mut next_frontier = Vec::new();
             for &ci in &frontier {
@@ -134,6 +131,7 @@ impl FrtTree {
                         .iter()
                         .copied()
                         .find(|u| dist[u.index()][v.index()] <= radius)
+                        // sor-check: allow(unwrap) — invariant stated in the expect message
                         .expect("v itself qualifies at any level once radius ≥ 0");
                     match groups.iter_mut().find(|(c, _)| *c == center) {
                         Some((_, vs)) => vs.push(v),
@@ -152,6 +150,7 @@ impl FrtTree {
                     let leader = if vs.contains(&center) {
                         center
                     } else {
+                        // sor-check: allow(unwrap) — invariant stated in the expect message
                         *pi.iter().find(|u| vs.contains(u)).expect("nonempty group")
                     };
                     let singleton = vs.len() == 1;
@@ -215,6 +214,7 @@ impl FrtTree {
                 let cl = nodes[c].leader;
                 let path = tree
                     .path_to(g, cl)
+                    // sor-check: allow(unwrap) — invariant stated in the expect message
                     .expect("connected graph")
                     .reversed();
                 nodes[c].up_path = Some(path);
@@ -246,6 +246,7 @@ impl FrtTree {
         let mut path = Path::trivial(s);
         for i in up_chain {
             if let Some(up) = &self.nodes[i].up_path {
+                // sor-check: allow(unwrap) — invariant stated in the expect message
                 path = path.join_simplified(up).expect("chained at leader");
             }
         }
@@ -253,6 +254,7 @@ impl FrtTree {
             if let Some(up) = &self.nodes[i].up_path {
                 path = path
                     .join_simplified(&up.reversed())
+                    // sor-check: allow(unwrap) — invariant stated in the expect message
                     .expect("chained at leader");
             }
         }
@@ -424,7 +426,10 @@ mod tests {
                     continue;
                 }
                 let d = (t.0 as f64 - s.0 as f64).abs();
-                let avg: f64 = trees.iter().map(|tr| tr.route(s, t).hops() as f64).sum::<f64>()
+                let avg: f64 = trees
+                    .iter()
+                    .map(|tr| tr.route(s, t).hops() as f64)
+                    .sum::<f64>()
                     / trees.len() as f64;
                 total_ratio += avg / d;
                 count += 1.0;

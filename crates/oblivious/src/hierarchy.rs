@@ -42,12 +42,7 @@ pub struct SpectralHierarchy {
 /// iterations of the lazy walk restricted to `verts` under edge weights
 /// `w`, deflated against the weighted stationary vector. Deterministic
 /// start; `rng` only perturbs tie-breaking so ensembles diversify.
-fn local_fiedler<R: Rng + ?Sized>(
-    g: &Graph,
-    verts: &[NodeId],
-    w: &[f64],
-    rng: &mut R,
-) -> Vec<f64> {
+fn local_fiedler<R: Rng + ?Sized>(g: &Graph, verts: &[NodeId], w: &[f64], rng: &mut R) -> Vec<f64> {
     let k = verts.len();
     let mut index_of: HashMap<NodeId, usize> = HashMap::with_capacity(k);
     for (i, &v) in verts.iter().enumerate() {
@@ -71,8 +66,7 @@ fn local_fiedler<R: Rng + ?Sized>(
         vec![1.0 / k as f64; k]
     };
     let deflate = |x: &mut [f64]| {
-        let c: f64 = x.iter().zip(&pi).map(|(a, b)| a * b).sum::<f64>()
-            / pi.iter().sum::<f64>();
+        let c: f64 = x.iter().zip(&pi).map(|(a, b)| a * b).sum::<f64>() / pi.iter().sum::<f64>();
         for v in x.iter_mut() {
             *v -= c;
         }
@@ -113,6 +107,7 @@ fn local_fiedler<R: Rng + ?Sized>(
 fn sweep_cut(g: &Graph, verts: &[NodeId], emb: &[f64], w: &[f64]) -> (Vec<NodeId>, Vec<NodeId>) {
     let k = verts.len();
     let mut order: Vec<usize> = (0..k).collect();
+    // sor-check: allow(unwrap) — invariant stated in the expect message
     order.sort_by(|&a, &b| emb[a].partial_cmp(&emb[b]).expect("finite embedding"));
     let lo = (k / 4).max(1);
     let hi = (3 * k / 4).max(lo);
@@ -174,9 +169,11 @@ impl SpectralHierarchy {
                 .max_by(|a, b| {
                     g.cap_degree(**a)
                         .partial_cmp(&g.cap_degree(**b))
+                        // sor-check: allow(unwrap) — invariant stated in the expect message
                         .expect("finite")
                         .then(b.0.cmp(&a.0))
                 })
+                // sor-check: allow(unwrap) — invariant stated in the expect message
                 .expect("nonempty cluster")
         };
 
@@ -246,6 +243,7 @@ impl SpectralHierarchy {
             for &c in kids {
                 let path = tree
                     .path_to(g, clusters[c].leader)
+                    // sor-check: allow(unwrap) — invariant stated in the expect message
                     .expect("connected graph")
                     .reversed();
                 clusters[c].up_path = Some(path);
@@ -262,10 +260,12 @@ impl SpectralHierarchy {
             return Path::trivial(s);
         }
         let mut sa = vec![self.leaf_of[s.index()]];
+        // sor-check: allow(unwrap) — invariant stated in the expect message
         while let Some(p) = self.clusters[*sa.last().expect("nonempty")].parent {
             sa.push(p);
         }
         let mut ta = vec![self.leaf_of[t.index()]];
+        // sor-check: allow(unwrap) — invariant stated in the expect message
         while let Some(p) = self.clusters[*ta.last().expect("nonempty")].parent {
             ta.push(p);
         }
@@ -277,6 +277,7 @@ impl SpectralHierarchy {
         let mut path = Path::trivial(s);
         for &i in &sa[..a] {
             if let Some(up) = &self.clusters[i].up_path {
+                // sor-check: allow(unwrap) — invariant stated in the expect message
                 path = path.join_simplified(up).expect("chained at leader");
             }
         }
@@ -284,6 +285,7 @@ impl SpectralHierarchy {
             if let Some(up) = &self.clusters[i].up_path {
                 path = path
                     .join_simplified(&up.reversed())
+                    // sor-check: allow(unwrap) — invariant stated in the expect message
                     .expect("chained at leader");
             }
         }
@@ -469,11 +471,7 @@ mod tests {
         let w: Vec<f64> = g.edges().iter().map(|e| e.cap).collect();
         let h = SpectralHierarchy::build(&g, &w, &mut rng);
         // root's two children: one should be (mostly) clique A
-        let kids: Vec<&Cluster> = h
-            .clusters
-            .iter()
-            .filter(|c| c.parent == Some(0))
-            .collect();
+        let kids: Vec<&Cluster> = h.clusters.iter().filter(|c| c.parent == Some(0)).collect();
         assert_eq!(kids.len(), 2);
         let side_a: Vec<bool> = kids[0].vertices.iter().map(|v| v.index() < 6).collect();
         let frac_a = side_a.iter().filter(|&&x| x).count() as f64 / side_a.len() as f64;

@@ -45,9 +45,11 @@ impl RandomWalkRouting {
         let mut pos = std::collections::HashMap::new();
         pos.insert(s, 0usize);
         let mut steps = 0usize;
+        // sor-check: allow(unwrap) — invariant stated in the expect message
         while *nodes.last().expect("nonempty") != t {
             steps += 1;
             assert!(steps <= max_steps, "random walk failed to hit target");
+            // sor-check: allow(unwrap) — invariant stated in the expect message
             let cur = *nodes.last().expect("nonempty");
             let inc = self.g.incident(cur);
             let &(e, v) = &inc[rng.gen_range(0..inc.len())];
@@ -63,6 +65,7 @@ impl RandomWalkRouting {
                 edges.push(e);
             }
         }
+        // sor-check: allow(unwrap) — invariant stated in the expect message
         Path::from_edges(&self.g, s, edges).expect("loop-erased walk is a simple path")
     }
 }

@@ -49,6 +49,7 @@ pub fn sample_from_dist<R: Rng + ?Sized>(dist: &PathDist, rng: &mut R) -> Path {
         }
         x -= w;
     }
+    // sor-check: allow(unwrap) — invariant stated in the expect message
     dist.last().expect("nonempty").0.clone()
 }
 

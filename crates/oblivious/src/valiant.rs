@@ -35,10 +35,13 @@ fn bitfix_nodes(a: u32, b: u32, d: usize) -> Vec<NodeId> {
 /// Build the `s → w → t` Valiant path, shortcutting any revisits so the
 /// result is simple.
 fn valiant_path(g: &Graph, d: usize, s: u32, w: u32, t: u32) -> Path {
+    // sor-check: allow(unwrap) — invariant stated in the expect message
     let first = Path::from_nodes(g, &bitfix_nodes(s, w, d)).expect("bitfix walks are simple");
+    // sor-check: allow(unwrap) — invariant stated in the expect message
     let second = Path::from_nodes(g, &bitfix_nodes(w, t, d)).expect("bitfix walks are simple");
     first
         .join_simplified(&second)
+        // sor-check: allow(unwrap) — invariant stated in the expect message
         .expect("segments share the intermediate")
 }
 
@@ -52,6 +55,7 @@ impl ValiantHypercube {
     /// Wrap a hypercube graph produced by [`sor_graph::gen::hypercube`].
     /// Panics if `g`'s vertex count is not a power of two.
     pub fn new(g: Graph) -> Self {
+        // sor-check: allow(unwrap) — invariant stated in the expect message
         let d = dim_of(g.num_nodes()).expect("not a hypercube vertex count");
         assert_eq!(
             g.num_edges(),
@@ -116,6 +120,7 @@ impl GreedyBitFix {
     /// Wrap a hypercube graph. Panics if the vertex count is not a power
     /// of two.
     pub fn new(g: Graph) -> Self {
+        // sor-check: allow(unwrap) — invariant stated in the expect message
         let d = dim_of(g.num_nodes()).expect("not a hypercube vertex count");
         GreedyBitFix { g, d }
     }
@@ -129,6 +134,7 @@ impl ObliviousRouting for GreedyBitFix {
     fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
         assert!(s != t);
         let p = Path::from_nodes(&self.g, &bitfix_nodes(s.0, t.0, self.d))
+            // sor-check: allow(unwrap) — invariant stated in the expect message
             .expect("bitfix walks are simple");
         vec![(p, 1.0)]
     }

@@ -7,9 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sor_graph::{gen, Graph, NodeId};
 use sor_oblivious::routing::ObliviousRouting;
-use sor_oblivious::{
-    ElectricalRouting, KspRouting, RaeckeRouting, RandomWalkRouting,
-};
+use sor_oblivious::{ElectricalRouting, KspRouting, RaeckeRouting, RandomWalkRouting};
 
 fn arb_graph(n: usize, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);

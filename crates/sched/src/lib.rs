@@ -27,4 +27,6 @@
 
 pub mod sim;
 
-pub use sim::{simulate, simulate_released, Policy, SimResult};
+pub use sim::{
+    simulate, simulate_released, try_simulate, try_simulate_released, Policy, SimResult,
+};

@@ -72,11 +72,16 @@ fn edge_budget(g: &Graph, e: sor_graph::EdgeId) -> u64 {
 }
 
 /// Simulate the routes under the policy. Zero-hop routes complete at time
-/// 0. Panics if the schedule fails to finish within a generous safety
-/// bound (would indicate a simulator bug — every work-conserving policy
-/// here finishes in ≤ C·D + delays).
+/// 0. Panics on invalid input or if the schedule fails to finish within a
+/// generous safety bound; use [`try_simulate`] to handle those as errors.
 pub fn simulate(g: &Graph, routes: &[Path], policy: Policy) -> SimResult {
     simulate_released(g, routes, None, policy)
+}
+
+/// Fallible [`simulate`]: returns an error naming the offending packet
+/// (a route that is not a path of `g`) instead of panicking.
+pub fn try_simulate(g: &Graph, routes: &[Path], policy: Policy) -> Result<SimResult, String> {
+    try_simulate_released(g, routes, None, policy)
 }
 
 /// Like [`simulate`], but packet `i` is injected at `releases[i]` (on top
@@ -88,9 +93,41 @@ pub fn simulate_released(
     releases: Option<&[u64]>,
     policy: Policy,
 ) -> SimResult {
+    match try_simulate_released(g, routes, releases, policy) {
+        Ok(r) => r,
+        // sor-check: allow(unwrap) — panicking front end over the fallible simulator
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`simulate_released`]: validates every route against `g` and
+/// the release vector's shape up front, and reports a scheduler stall as
+/// an error instead of panicking. Error messages name the offending
+/// packet index and its endpoints.
+pub fn try_simulate_released(
+    g: &Graph,
+    routes: &[Path],
+    releases: Option<&[u64]>,
+    policy: Policy,
+) -> Result<SimResult, String> {
     let n_packets = routes.len();
     if let Some(r) = releases {
-        assert_eq!(r.len(), n_packets, "one release time per packet");
+        if r.len() != n_packets {
+            return Err(format!(
+                "{} release times for {n_packets} packets — one is required per packet",
+                r.len()
+            ));
+        }
+    }
+    for (i, p) in routes.iter().enumerate() {
+        if !p.validate(g) {
+            return Err(format!(
+                "packet {i} ({}→{}): route is not a path of the graph \
+                 (out-of-bounds or non-consecutive edges)",
+                p.source(),
+                p.target()
+            ));
+        }
     }
     // Static inputs: congestion and dilation of the route set.
     let mut uses: HashMap<(u32, u32), u64> = HashMap::new(); // (edge, from-node)
@@ -135,11 +172,7 @@ pub fn simulate_released(
 
     // fold explicit releases into the policy start times
     let start_time: Vec<u64> = match releases {
-        Some(r) => start_time
-            .iter()
-            .zip(r)
-            .map(|(&a, &b)| a + b)
-            .collect(),
+        Some(r) => start_time.iter().zip(r).map(|(&a, &b)| a + b).collect(),
         None => start_time,
     };
     let max_start = start_time.iter().copied().max().unwrap_or(0);
@@ -154,7 +187,12 @@ pub fn simulate_released(
     // Reusable queue map: (edge, from) -> packet ids wanting to cross now.
     let mut wanting: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
     while remaining > 0 {
-        assert!(t <= safety, "scheduler failed to finish within safety bound");
+        if t > safety {
+            return Err(format!(
+                "scheduler stalled: {remaining} of {n_packets} packets unfinished \
+                 after the safety bound of {safety} steps — simulator bug"
+            ));
+        }
         wanting.clear();
         for (i, p) in routes.iter().enumerate() {
             if pos[i] < p.hops() && start_time[i] <= t {
@@ -190,19 +228,40 @@ pub fn simulate_released(
         }
         t += 1;
     }
-    SimResult {
+    Ok(SimResult {
         makespan,
         congestion,
         dilation,
         finish_times,
         max_queue,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sor_graph::{bfs_path, gen, NodeId};
+
+    #[test]
+    fn try_simulate_names_offending_packet() {
+        let g = gen::path_graph(5);
+        let good = bfs_path(&g, NodeId(0), NodeId(4)).unwrap();
+        // a route built over a larger graph is not a path of `g`
+        let g_big = gen::path_graph(8);
+        let alien = bfs_path(&g_big, NodeId(0), NodeId(7)).unwrap();
+        let err = try_simulate(&g, &[good.clone(), alien], Policy::Fifo).unwrap_err();
+        assert!(err.contains("packet 1"), "{err}");
+        assert!(err.contains("v0→v7"), "{err}");
+        assert!(try_simulate(&g, &[good], Policy::Fifo).is_ok());
+    }
+
+    #[test]
+    fn try_simulate_released_checks_shape() {
+        let g = gen::path_graph(3);
+        let p = bfs_path(&g, NodeId(0), NodeId(2)).unwrap();
+        let err = try_simulate_released(&g, &[p], Some(&[0, 1]), Policy::Fifo).unwrap_err();
+        assert!(err.contains("2 release times for 1 packets"), "{err}");
+    }
 
     #[test]
     fn single_packet_takes_hops_steps() {
@@ -287,7 +346,8 @@ mod tests {
             assert!(r.makespan >= r.lower_bound());
             assert!(
                 (r.makespan as f64) <= (r.congestion + 1.0) * (r.dilation as f64 + 1.0) + 8.0,
-                "makespan {} far above C·D", r.makespan
+                "makespan {} far above C·D",
+                r.makespan
             );
         }
     }
@@ -349,9 +409,7 @@ mod tests {
         // cannot beat the pipeline bound but must stay within C + D + max_delay.
         let g = gen::star(6);
         let routes: Vec<Path> = (1..=5)
-            .map(|i| {
-                bfs_path(&g, NodeId(i), NodeId(if i == 5 { 1 } else { i + 1 })).unwrap()
-            })
+            .map(|i| bfs_path(&g, NodeId(i), NodeId(if i == 5 { 1 } else { i + 1 })).unwrap())
             .collect();
         let r = simulate(
             &g,

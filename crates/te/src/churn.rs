@@ -34,7 +34,10 @@ pub struct ChurnResult {
     pub steps: usize,
 }
 
-fn support_keys(paths: &[(usize, Path, f64)], demand: &Demand) -> HashSet<(NodeId, NodeId, Vec<u32>)> {
+fn support_keys(
+    paths: &[(usize, Path, f64)],
+    demand: &Demand,
+) -> HashSet<(NodeId, NodeId, Vec<u32>)> {
     let entries = demand.entries();
     paths
         .iter()
@@ -132,8 +135,7 @@ pub fn online_simulation(
         .map(|(i, tm)| {
             let opt = max_concurrent_flow(g, tm, eps).congestion_upper;
             let semi = sor.congestion(tm, eps);
-            let obl =
-                sor_oblivious::routing::fractional_loads(&base, tm).congestion(g);
+            let obl = sor_oblivious::routing::fractional_loads(&base, tm).congestion(g);
             OnlineStep {
                 step: i,
                 opt,
@@ -156,8 +158,7 @@ mod tests {
         let tm = gravity_tm(&sc, 3.0, &mut rng);
         let series = online_simulation(&sc, &tm, 5, 0.4, 4, 6, 9, 0.15);
         assert_eq!(series.len(), 5);
-        let mean_semi: f64 =
-            series.iter().map(|s| s.semi_ratio).sum::<f64>() / series.len() as f64;
+        let mean_semi: f64 = series.iter().map(|s| s.semi_ratio).sum::<f64>() / series.len() as f64;
         let mean_obl: f64 =
             series.iter().map(|s| s.oblivious_ratio).sum::<f64>() / series.len() as f64;
         assert!(

@@ -93,6 +93,7 @@ pub fn failure_experiment(
     for &(a, b) in &pairs {
         if !survived.system().covers(a, b) {
             fallback_pairs += 1;
+            // sor-check: allow(unwrap) — invariant stated in the expect message
             let p = sor_graph::bfs_path(&survivor_graph, a, b).expect("connected");
             // Translate the survivor-graph path back to original edge ids
             // by re-tracing its node sequence on the original graph,
@@ -106,9 +107,11 @@ pub fn failure_experiment(
                     .iter()
                     .find(|&&(e, nb)| nb == w[1] && !failed.contains(&e))
                     .map(|&(e, _)| e)
+                    // sor-check: allow(unwrap) — invariant stated in the expect message
                     .expect("edge exists in survivor graph");
                 edges.push(e);
             }
+            // sor-check: allow(unwrap) — invariant stated in the expect message
             let orig = sor_graph::Path::from_edges(g, nodes[0], edges).expect("valid path");
             sys.insert(a, b, orig);
             survived = SemiObliviousRouting::new(g.clone(), sys);
@@ -126,6 +129,7 @@ pub fn failure_experiment(
             .collect();
         if surviving.is_empty() {
             // same emergency fallback as the semi-oblivious side
+            // sor-check: allow(unwrap) — invariant stated in the expect message
             let p = sor_graph::bfs_path(&survivor_graph, a, b).expect("connected");
             let nodes = p.nodes().to_vec();
             let mut edges = Vec::with_capacity(nodes.len() - 1);
@@ -135,9 +139,11 @@ pub fn failure_experiment(
                     .iter()
                     .find(|&&(e, nb)| nb == w[1] && !failed.contains(&e))
                     .map(|&(e, _)| e)
+                    // sor-check: allow(unwrap) — invariant stated in the expect message
                     .expect("edge exists");
                 edges.push(e);
             }
+            // sor-check: allow(unwrap) — invariant stated in the expect message
             let orig = sor_graph::Path::from_edges(g, nodes[0], edges).expect("valid");
             loads.add_path(&orig, d);
             continue;

@@ -115,7 +115,11 @@ mod tests {
             Scenario::att(),
             Scenario::clos(3, 5),
         ] {
-            assert!(sor_graph::is_connected(&sc.graph), "{} disconnected", sc.name);
+            assert!(
+                sor_graph::is_connected(&sc.graph),
+                "{} disconnected",
+                sc.name
+            );
             assert!(sc.endpoints.len() >= 2);
             assert_eq!(
                 sc.pairs().len(),

@@ -120,13 +120,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let tm = gravity_tm(&sc, 4.0, &mut rng);
         let opt = run_scheme(&sc, &tm, Scheme::OptimalMcf, 1, 0.1);
-        let semi = run_scheme(
-            &sc,
-            &tm,
-            Scheme::SemiOblivious { s: 4, trees: 8 },
-            1,
-            0.1,
-        );
+        let semi = run_scheme(&sc, &tm, Scheme::SemiOblivious { s: 4, trees: 8 }, 1, 0.1);
         let obl = run_scheme(&sc, &tm, Scheme::ObliviousRaecke { trees: 8 }, 1, 0.1);
         assert!((opt.ratio_vs_opt - 1.0).abs() < 1e-9);
         assert!(semi.ratio_vs_opt >= 1.0 - 0.15, "{}", semi.ratio_vs_opt);

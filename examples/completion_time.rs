@@ -70,9 +70,7 @@ fn report(name: &str, g: &Graph, routes: &[semi_oblivious_routing::graph::Path])
 fn main() {
     let (p, len, units) = (4usize, 14usize, 4u32);
     let (g, s, t) = theta_graph(p, len);
-    println!(
-        "theta graph: direct edge + {p} disjoint {len}-hop paths; {units} packets s→t\n"
-    );
+    println!("theta graph: direct edge + {p} disjoint {len}-hop paths; {units} packets s→t\n");
     let demand = Demand::from_triples([(s, t, units as f64)]);
     let pairs = demand_pairs(&demand);
 

@@ -43,7 +43,10 @@ fn main() {
 
     let valiant = ValiantHypercube::new(g.clone());
     println!("\nnow sample s Valiant paths per pair, adapt rates to the demand:");
-    println!("{:>3} {:>12} {:>8} {:>14}", "s", "congestion", "ratio", "shape N^(1/s)");
+    println!(
+        "{:>3} {:>12} {:>8} {:>14}",
+        "s", "congestion", "ratio", "shape N^(1/s)"
+    );
     for s in [1usize, 2, 3, 4, 6, 8] {
         let mut rng = StdRng::seed_from_u64(100 + s as u64);
         let sampled = sample_k(&valiant, &demand_pairs(&demand), s, &mut rng);

@@ -23,7 +23,11 @@ fn main() {
 
     // (1) a 5x5 grid network
     let g = gen::grid(5, 5);
-    println!("graph: 5x5 grid, n = {}, m = {}", g.num_nodes(), g.num_edges());
+    println!(
+        "graph: 5x5 grid, n = {}, m = {}",
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     // (2) Räcke-style oblivious routing: a mixture of 8 FRT trees
     let base = RaeckeRouting::build(g.clone(), 8, &mut rng);

@@ -9,9 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use semi_oblivious_routing::te::{
-    failure_experiment, gravity_tm, run_scheme, Scenario, Scheme,
-};
+use semi_oblivious_routing::te::{failure_experiment, gravity_tm, run_scheme, Scenario, Scheme};
 
 fn main() {
     let sc = Scenario::abilene();
@@ -29,7 +27,10 @@ fn main() {
         tm.size()
     );
 
-    println!("{:<24} {:>10} {:>10} {:>9}", "scheme", "MLU", "vs OPT", "paths");
+    println!(
+        "{:<24} {:>10} {:>10} {:>9}",
+        "scheme", "MLU", "vs OPT", "paths"
+    );
     for scheme in [
         Scheme::OptimalMcf,
         Scheme::SemiOblivious { s: 1, trees: 8 },
@@ -62,7 +63,10 @@ fn main() {
                 fr.oblivious_mlu,
                 fr.oblivious_ratio()
             );
-            println!("pairs needing an emergency fallback path: {}", fr.fallback_pairs);
+            println!(
+                "pairs needing an emergency fallback path: {}",
+                fr.fallback_pairs
+            );
         }
         None => println!("no connected failure set found"),
     }

@@ -29,26 +29,36 @@ fn usage() -> ! {
     exit(2)
 }
 
+/// Unwrap a CLI parse result or exit with the error message (which names
+/// the offending flag or spec).
+fn or_die<T>(r: Result<T, String>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2)
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
         usage()
     };
-    let seed: u64 = flag_parse(&args, "--seed", 42);
+    let seed: u64 = or_die(flag_parse(&args, "--seed", 42));
     let Some(gspec) = flag_value(&args, "--graph") else {
         usage()
     };
-    let g = match parse_graph(gspec, seed) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("error: {e}");
-            exit(2)
-        }
-    };
+    let g = or_die(parse_graph(gspec, seed));
 
     match cmd {
         "info" => {
-            println!("graph {gspec}: n = {}, m = {}", g.num_nodes(), g.num_edges());
+            println!(
+                "graph {gspec}: n = {}, m = {}",
+                g.num_nodes(),
+                g.num_edges()
+            );
             println!("  diameter        : {}", diameter(&g));
             println!("  global min cut  : {:.2}", global_min_cut(&g));
             println!("  bridges         : {}", bridges(&g).len());
@@ -58,16 +68,10 @@ fn main() {
         "export" => {
             // Build and print the installable artifact: topology + sampled
             // candidate path system, in the portable text format.
-            let trees: usize = flag_parse(&args, "--trees", 8);
-            let s: usize = flag_parse(&args, "--s", 4);
+            let trees: usize = or_die(flag_parse(&args, "--trees", 8));
+            let s: usize = or_die(flag_parse(&args, "--s", 4));
             let dspec = flag_value(&args, "--demand").unwrap_or("perm");
-            let demand = match parse_demand(dspec, &g, seed) {
-                Ok(d) => d,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    exit(2)
-                }
-            };
+            let demand = or_die(parse_demand(dspec, &g, seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
             let sampled = sample_k(&base, &demand_pairs(&demand), s, &mut rng);
@@ -80,17 +84,11 @@ fn main() {
         "process" => {
             // Run the Main Lemma's deletion process once and print its
             // statistics (Section 5.3, live).
-            let s: usize = flag_parse(&args, "--s", 4);
-            let tau: f64 = flag_parse(&args, "--tau", 2.0);
-            let trees: usize = flag_parse(&args, "--trees", 8);
+            let s: usize = or_die(flag_parse(&args, "--s", 4));
+            let tau: f64 = or_die(flag_parse(&args, "--tau", 2.0));
+            let trees: usize = or_die(flag_parse(&args, "--trees", 8));
             let dspec = flag_value(&args, "--demand").unwrap_or("perm");
-            let demand = match parse_demand(dspec, &g, seed) {
-                Ok(d) => d,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    exit(2)
-                }
-            };
+            let demand = or_die(parse_demand(dspec, &g, seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
             let sampled = semi_oblivious_routing::core::sample::sample_k(
@@ -99,9 +97,8 @@ fn main() {
                 s,
                 &mut rng,
             );
-            let out = semi_oblivious_routing::core::process::deletion_process(
-                &g, &sampled, &demand, tau,
-            );
+            let out =
+                semi_oblivious_routing::core::process::deletion_process(&g, &sampled, &demand, tau);
             println!(
                 "deletion process on {gspec} | demand {dspec} ({} pairs) | s = {s}, tau = {tau}",
                 demand.support_size()
@@ -113,16 +110,10 @@ fn main() {
             println!("  weak success (>=half): {}", out.weak_success());
         }
         "eval" | "sweep" => {
-            let eps: f64 = flag_parse(&args, "--eps", 0.15);
-            let trees: usize = flag_parse(&args, "--trees", 8);
+            let eps: f64 = or_die(flag_parse(&args, "--eps", 0.15));
+            let trees: usize = or_die(flag_parse(&args, "--trees", 8));
             let dspec = flag_value(&args, "--demand").unwrap_or("perm");
-            let demand = match parse_demand(dspec, &g, seed) {
-                Ok(d) => d,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    exit(2)
-                }
-            };
+            let demand = or_die(parse_demand(dspec, &g, seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
             let opt = max_concurrent_flow(&g, &demand, eps);
@@ -134,9 +125,9 @@ fn main() {
                 opt.congestion_upper
             );
             let svals: Vec<usize> = if cmd == "eval" {
-                vec![flag_parse(&args, "--s", 4)]
+                vec![or_die(flag_parse(&args, "--s", 4))]
             } else {
-                let max_s: usize = flag_parse(&args, "--max-s", 8);
+                let max_s: usize = or_die(flag_parse(&args, "--max-s", 8));
                 (1..=max_s).collect()
             };
             println!("{:>3} {:>12} {:>10}", "s", "congestion", "ratio");

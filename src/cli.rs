@@ -90,8 +90,8 @@ pub fn parse_demand(spec: &str, g: &Graph, seed: u64) -> Result<Demand, String> 
     Ok(match name {
         "file" => {
             let path = arg.ok_or("file needs a path, e.g. file:tm.txt")?;
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read '{path}': {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
             sor_flow::demand_from_text(&text, g.num_nodes())?
         }
         "perm" => demand::random_permutation(g, &mut rng),
@@ -132,11 +132,21 @@ pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-/// Parse `--flag <v>` with a default.
-pub fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
-    flag_value(args, flag)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+/// Parse `--flag <v>` with a default for an absent flag. A flag that is
+/// present but malformed is an error naming the flag and the offending
+/// value — silently falling back to the default would make typos in
+/// experiment parameters invisible.
+pub fn flag_parse<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value '{v}' for {flag}")),
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +159,10 @@ mod tests {
         assert_eq!(parse_graph("grid:3x4", 0).unwrap().num_nodes(), 12);
         assert_eq!(parse_graph("abilene", 0).unwrap().num_nodes(), 11);
         assert_eq!(parse_graph("expander:20x3", 1).unwrap().num_edges(), 30);
-        assert_eq!(parse_graph("twostar:2x3", 0).unwrap().num_nodes(), 2 + 2 + 6);
+        assert_eq!(
+            parse_graph("twostar:2x3", 0).unwrap().num_nodes(),
+            2 + 2 + 6
+        );
         assert!(parse_graph("bogus", 0).is_err());
         assert!(parse_graph("grid:3", 0).is_err());
         assert!(parse_graph("hypercube", 0).is_err());
@@ -190,8 +203,12 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert_eq!(flag_value(&args, "--s"), Some("4"));
-        assert_eq!(flag_parse(&args, "--s", 1usize), 4);
-        assert_eq!(flag_parse(&args, "--missing", 7usize), 7);
-        assert!((flag_parse(&args, "--eps", 0.1f64) - 0.2).abs() < 1e-12);
+        assert_eq!(flag_parse(&args, "--s", 1usize), Ok(4));
+        assert_eq!(flag_parse(&args, "--missing", 7usize), Ok(7));
+        assert!((flag_parse(&args, "--eps", 0.1f64).unwrap() - 0.2).abs() < 1e-12);
+        // a present-but-malformed flag is an error naming flag and value
+        let bad: Vec<String> = ["--eps", "fast"].iter().map(|s| s.to_string()).collect();
+        let err = flag_parse(&bad, "--eps", 0.1f64).unwrap_err();
+        assert_eq!(err, "invalid value 'fast' for --eps");
     }
 }

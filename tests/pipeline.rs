@@ -68,8 +68,12 @@ fn integral_routing_feeds_scheduler() {
     let sor = SemiObliviousRouting::new(g.clone(), sampled.system);
     let frac = sor.route_fractional(&dm, 0.2);
     let integral = sor.route_integral(&dm, 0.2, &mut rng);
-    assert!(integral.congestion + 1e-9 >= frac.congestion / 1.3,
-        "integral {} can't be far below fractional {}", integral.congestion, frac.congestion);
+    assert!(
+        integral.congestion + 1e-9 >= frac.congestion / 1.3,
+        "integral {} can't be far below fractional {}",
+        integral.congestion,
+        frac.congestion
+    );
 
     // Feed the integral assignment to the scheduler.
     let mut routes = Vec::new();
@@ -115,7 +119,11 @@ fn cut_sampling_handles_heavy_demands() {
         "(1+cut)-sample {c_cut} should beat 1-sample {c_plain}"
     );
     let opt = max_concurrent_flow(&g, &dm, 0.15).congestion_upper;
-    assert!(c_cut / opt < 2.5, "cut-sample ratio {} too large", c_cut / opt);
+    assert!(
+        c_cut / opt < 2.5,
+        "cut-sample ratio {} too large",
+        c_cut / opt
+    );
 }
 
 /// Permutations on hypercubes: the headline Theorem 2.3 configuration,

@@ -54,7 +54,10 @@ fn deterministic_single_path_barrier() {
     let valiant = ValiantHypercube::new(g);
     let cg = oblivious_congestion(&greedy, &demand);
     let cv = oblivious_congestion(&valiant, &demand);
-    assert!((cg - 8.0).abs() < 1e-9, "greedy wall should be exactly 2^{{d/2}}/2 = 8, got {cg}");
+    assert!(
+        (cg - 8.0).abs() < 1e-9,
+        "greedy wall should be exactly 2^{{d/2}}/2 = 8, got {cg}"
+    );
     assert!(cv < 2.5, "Valiant expected congestion {cv}");
 }
 

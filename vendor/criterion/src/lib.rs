@@ -1,0 +1,222 @@
+//! Offline stand-in for the slice of `criterion` this workspace's benches
+//! use. It runs each benchmark closure a small, configurable number of
+//! times with `std::time::Instant` and prints mean wall-clock per
+//! iteration — no statistics, plots, or regression analysis. Its purpose
+//! is to keep `cargo bench` / `--all-targets` builds working offline while
+//! preserving the upstream API shape.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // intentionally tiny: this stub exists to exercise the bench
+            // code paths, not to produce publishable numbers
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            id: id.to_string(),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Open a named group; configuration set on the group applies to its
+    /// benches only.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+            measurement_time: None,
+            warm_up_time: None,
+        }
+    }
+
+    /// Global sample-size override (builder style, like upstream).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    warm_up_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Budget for the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Budget for the warm-up phase.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.parent.measurement_time),
+            warm_up_time: self.warm_up_time.unwrap_or(self.parent.warm_up_time),
+            id: format!("{}/{}", self.name, id),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Finish the group (no-op beyond upstream API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Per-bench measurement driver.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    id: String,
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; the stub treats every
+/// variant the same (one setup per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Time `routine`, reporting mean wall-clock per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // warm-up: bounded by time, at least one call
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut samples = 0usize;
+        let bench_start = Instant::now();
+        while samples < self.sample_size && bench_start.elapsed() < self.measurement_time {
+            let t = Instant::now();
+            black_box(routine());
+            total += t.elapsed();
+            samples += 1;
+        }
+        report(&self.id, total, samples.max(1));
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up call
+        let mut total = Duration::ZERO;
+        let mut samples = 0usize;
+        let bench_start = Instant::now();
+        while samples < self.sample_size && bench_start.elapsed() < self.measurement_time {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+            samples += 1;
+        }
+        report(&self.id, total, samples.max(1));
+    }
+}
+
+fn report(id: &str, total: Duration, samples: usize) {
+    let mean_ns = total.as_nanos() / samples as u128;
+    println!("bench {id:<40} {mean_ns:>12} ns/iter (n = {samples})");
+}
+
+/// Identity function opaque to the optimizer (std's stabilized hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into one runner, upstream-macro compatible.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| b.iter(|| calls = calls.wrapping_add(1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline stand-in for the slice of `proptest` this workspace's property
+//! tests use: the `proptest! { #![proptest_config(..)] #[test] fn f(x in
+//! a..b, ..) { .. } }` macro over numeric range strategies, plus
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from upstream, by design (std-only, no registry access):
+//!
+//! * **No shrinking.** A failing case reports the test name, case index,
+//!   and the concrete generated inputs; cases are a pure function of
+//!   `(test name, case index)`, so a failure reproduces by re-running the
+//!   same test binary — no `proptest-regressions` persistence is needed
+//!   (existing regression files are kept as historical documentation).
+//! * **Range strategies only** (`lo..hi`, `lo..=hi` over the primitive
+//!   numeric types) — the only strategies this workspace uses.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Failure payload of a property assertion. Upstream proptest uses a
+/// dedicated enum; this stub carries the rendered message only, which
+/// keeps `?` on helper functions returning `Result<(), TestCaseError>`
+/// compatible with the macro-generated case closure.
+pub type TestCaseError = String;
+
+/// Per-`proptest!`-block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // upstream defaults to 256; this stub keeps suites fast by default
+        // since every call site in this workspace overrides it anyway
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value source for one `arg in strategy` binding.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for ::std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A constant strategy (`Just(v)`), for completeness with upstream.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Deterministic per-(test, case) generator: failures reproduce without a
+/// persisted regressions file.
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Render generated inputs for a failure report.
+pub fn format_inputs(pairs: &[(&str, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(name, value)| format!("{name} = {value}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// The `proptest! { .. }` block macro (see crate docs for the supported
+/// subset).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each `fn` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_rng(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = $crate::format_inputs(&[
+                    $((stringify!($arg), format!("{:?}", $arg))),+
+                ]);
+                let __result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__msg) = __result {
+                    panic!(
+                        "[{}] case {}/{} failed: {}\n    inputs: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __cfg.cases,
+                        __msg,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Property assertion: on failure the enclosing case reports its inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality property assertion with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Inequality property assertion with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}` (both: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                __l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges stay in bounds and assertions thread through.
+        #[test]
+        fn ranges_in_bounds(a in 0u64..10, b in 2usize..5, x in 0.5f64..1.5) {
+            prop_assert!(a < 10);
+            prop_assert!((2..5).contains(&b), "b out of range: {}", b);
+            prop_assert!(x >= 0.5 && x < 1.5);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(b + 1, b);
+        }
+
+        #[test]
+        fn inclusive_ranges(v in 3u32..=6) {
+            prop_assert!((3..=6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_cases() {
+        use crate::Strategy;
+        let s = 0u64..1000;
+        let a = s.generate(&mut crate::test_rng("t", 3));
+        let b = s.generate(&mut crate::test_rng("t", 3));
+        assert_eq!(a, b);
+        // a different case index draws from a different seed; with a
+        // 1000-value range the draw differs for this fixed test name
+        let c = s.generate(&mut crate::test_rng("t", 4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "case 1/")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            #[allow(dead_code)]
+            fn always_fails(z in 0u8..2) {
+                prop_assert!(z > 100, "z too small: {}", z);
+            }
+        }
+        always_fails();
+    }
+}

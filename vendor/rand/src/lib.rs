@@ -1,0 +1,109 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses. The container building this repository has no route to a crate
+//! registry, so the real `rand` cannot be downloaded; this crate keeps the
+//! same paths (`rand::Rng`, `rand::SeedableRng`, `rand::rngs::StdRng`,
+//! `rand::seq::SliceRandom`) so library code compiles unchanged.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! SplitMix64 — not the ChaCha12 core of the real `StdRng`, so seeded
+//! streams differ from upstream `rand`, but every stream is deterministic
+//! per seed, which is the property the workspace's experiments and tests
+//! rely on.
+
+pub mod rngs;
+pub mod seq;
+
+mod uniform;
+
+pub use uniform::SampleRange;
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled from the "standard" distribution
+/// (`rng.gen::<T>()`): uniform bits for integers, uniform `[0, 1)` for
+/// floats.
+pub trait Standard: Sized {
+    /// Draw one value from the standard distribution.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform value in `range` (`a..b` or `a..=b`). Panics on an empty
+    /// range, like the real `rand`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        f64::standard_sample(self) < p
+    }
+
+    /// One draw from the standard distribution of `T` (`rng.gen::<f64>()`
+    /// is uniform `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a reproducible generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// A generator seeded from a fixed default seed (this stub has no
+    /// entropy source; callers needing reproducibility pass seeds anyway).
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x9e37_79b9_7f4a_7c15)
+    }
+}

@@ -1,0 +1,54 @@
+//! Slice helpers (`choose`, `shuffle`), mirroring `rand::seq::SliceRandom`.
+
+use crate::Rng;
+
+/// Random selection and shuffling over slices.
+pub trait SliceRandom {
+    /// Element type of the underlying slice.
+    type Item;
+
+    /// A uniformly random element, or `None` for an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut r = StdRng::seed_from_u64(4);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+        let v = [10, 20, 30];
+        assert!(v.contains(v.choose(&mut r).unwrap()));
+        let mut w: Vec<u32> = (0..20).collect();
+        w.shuffle(&mut r);
+        let mut sorted = w.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

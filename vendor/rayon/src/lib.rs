@@ -1,0 +1,55 @@
+//! Offline stand-in for the slice of `rayon` this workspace uses:
+//! `par_iter()` / `into_par_iter()` from the prelude. Both degrade to the
+//! corresponding *sequential* std iterators — every adapter downstream
+//! (`map`, `filter`, `collect`, …) is then plain `Iterator` machinery, so
+//! call sites compile and run unchanged, just on one thread. When a real
+//! registry is reachable, deleting this crate and restoring the `rayon`
+//! workspace dependency re-enables parallelism with no source changes.
+
+pub mod prelude {
+    /// `into_par_iter()` — sequential fallback over any `IntoIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter()` — sequential fallback over any `&C: IntoIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Iterator type produced by [`Self::par_iter`].
+        type Iter;
+
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_semantics() {
+        let v = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: u32 = v.into_par_iter().sum();
+        assert_eq!(sum, 6);
+        let r: Vec<usize> = (0..4usize).into_par_iter().collect();
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+}
