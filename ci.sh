@@ -13,8 +13,13 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace (deny unwrap_used via [workspace.lints])"
 cargo clippy --workspace --all-targets
 
-echo "==> sor-check (repo lint rules)"
-cargo run -q -p sor-check
+echo "==> sor-check (lexical rules + semantic pass, regression-only baseline gate)"
+cargo run -q -p sor-check -- --baseline check-baseline.json --fail-on-new
+
+echo "==> sor-check SARIF report (artifact)"
+mkdir -p target/sor-check
+cargo run -q -p sor-check -- --format sarif --baseline check-baseline.json \
+  --output target/sor-check/sor-check.sarif || true
 
 echo "==> cargo build --release"
 cargo build --release

@@ -77,6 +77,8 @@ pub fn e1_log_sparsity(quick: bool) -> Table {
         let mut grng = StdRng::seed_from_u64(7);
         let g = gen::random_regular(n, 4, &mut grng);
         let r = RaeckeRouting::build(g.clone(), 8, &mut grng);
+        // log2 of a graph size: tiny, non-negative — the floor fits easily
+        #[allow(clippy::cast_possible_truncation)]
         let k = (n as f64).log2().ceil() as usize;
         let (worst, mean, vs_obl) = permutation_ratios(&g, &r, k, seeds, eps);
         t.row(vec![
@@ -205,11 +207,11 @@ pub fn e4_cut_sampling(quick: bool) -> Table {
     let bridges = 4usize;
     let g = gen::dumbbell(k, bridges);
     // heavy demand across the dumbbell + light noise inside the cliques
-    let across = (NodeId((k - 1) as u32), NodeId((2 * k - 1) as u32));
+    let across = (NodeId::from_usize(k - 1), NodeId::from_usize(2 * k - 1));
     let mut demand = Demand::new();
     demand.add(across.0, across.1, bridges as f64 * 2.0);
     demand.add(NodeId(0), NodeId(1), 1.0);
-    demand.add(NodeId(k as u32), NodeId((k + 1) as u32), 1.0);
+    demand.add(NodeId::from_usize(k), NodeId::from_usize(k + 1), 1.0);
 
     let mut rng = StdRng::seed_from_u64(11);
     let base = RaeckeRouting::build(g.clone(), 8, &mut rng);

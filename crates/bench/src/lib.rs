@@ -11,6 +11,8 @@
 //! (used by tests and `cargo bench`); `false` is the paper-scale run
 //! recorded in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod e_ablate;
 pub mod e_extra;
 pub mod e_lower;

@@ -1,0 +1,359 @@
+//! `check.toml`: declarative configuration for the semantic pass.
+//!
+//! The workspace root carries a `check.toml` naming the crate layering
+//! DAG and the scopes of the semantic rules. The file is parsed with a
+//! deliberately tiny TOML subset reader (sections, `key = value` with
+//! string / bool / integer / string-array values, `#` comments) — the
+//! registry is unreachable from CI, so no `toml` crate.
+//!
+//! Missing file ⇒ [`Config::default`]: every semantic rule that needs
+//! configuration (layering, panic scope, determinism scope, dead-API
+//! scope) is simply skipped, which is what the seeded test fixtures
+//! without a `check.toml` rely on.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed semantic-pass configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// `[layers]`: crate → crates it may depend on *directly*. The
+    /// transitive closure of this relation is what the layering rule
+    /// permits; anything else is a violation.
+    pub layers: BTreeMap<String, Vec<String>>,
+    /// `[panics] public_crates`: crates whose `pub` functions must not
+    /// reach a panic site.
+    pub panic_public_crates: Vec<String>,
+    /// `[panics] include_indexing`: treat slice/`Vec` indexing as a
+    /// panic source. Off by default — indexing is pervasive in the
+    /// adjacency code and flagging it drowns the signal; the switch
+    /// exists so an audit build can turn it on.
+    pub panic_include_indexing: bool,
+    /// `[determinism] order_crates`: crates where `HashMap`/`HashSet`
+    /// iteration order is treated as observable output (samplers and
+    /// solvers) and therefore flagged.
+    pub order_crates: Vec<String>,
+    /// `[determinism] rng_crates`: crates whose functions must not
+    /// construct an RNG unless they take a seed or `Rng` parameter.
+    /// The bench crate is deliberately out of scope — its hard-coded
+    /// seeds *define* the experiments.
+    pub rng_crates: Vec<String>,
+    /// `[dead-api] crates`: crates whose `pub` items are audited for
+    /// having at least one reference from elsewhere in the workspace.
+    pub dead_api_crates: Vec<String>,
+}
+
+/// A `check.toml` parse failure, with a 1-based line number.
+#[derive(Clone, Debug)]
+pub struct ConfigError {
+    /// Line the error was detected on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "check.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// One parsed TOML value from the subset grammar.
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    StrArray(Vec<String>),
+}
+
+impl Config {
+    /// Load `check.toml` from `root`, or the permissive default when the
+    /// file does not exist.
+    pub fn load(root: &Path) -> Result<Config, ConfigError> {
+        let path = root.join("check.toml");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Ok(Config::default());
+        };
+        Config::parse(&text)
+    }
+
+    /// Parse configuration text (the TOML subset described in the module
+    /// docs).
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = unquote(line[..eq].trim());
+            let value = parse_value(line[eq + 1..].trim()).ok_or_else(|| ConfigError {
+                line: line_no,
+                message: format!("unsupported value syntax `{}`", line[eq + 1..].trim()),
+            })?;
+            cfg.apply(&section, &key, value, line_no)?;
+        }
+        cfg.validate_layers()?;
+        Ok(cfg)
+    }
+
+    /// Route one `key = value` pair into the matching field.
+    fn apply(
+        &mut self,
+        section: &str,
+        key: &str,
+        value: Value,
+        line: usize,
+    ) -> Result<(), ConfigError> {
+        let err = |message: String| Err(ConfigError { line, message });
+        match (section, key) {
+            ("layers", krate) => match value {
+                Value::StrArray(deps) => {
+                    self.layers.insert(krate.to_string(), deps);
+                    Ok(())
+                }
+                _ => err(format!("[layers] {krate} must be an array of crate names")),
+            },
+            ("panics", "public_crates") => match value {
+                Value::StrArray(v) => {
+                    self.panic_public_crates = v;
+                    Ok(())
+                }
+                _ => err("panics.public_crates must be an array".into()),
+            },
+            ("panics", "include_indexing") => match value {
+                Value::Bool(b) => {
+                    self.panic_include_indexing = b;
+                    Ok(())
+                }
+                _ => err("panics.include_indexing must be a bool".into()),
+            },
+            ("determinism", "order_crates") => match value {
+                Value::StrArray(v) => {
+                    self.order_crates = v;
+                    Ok(())
+                }
+                _ => err("determinism.order_crates must be an array".into()),
+            },
+            ("determinism", "rng_crates") => match value {
+                Value::StrArray(v) => {
+                    self.rng_crates = v;
+                    Ok(())
+                }
+                _ => err("determinism.rng_crates must be an array".into()),
+            },
+            ("dead-api", "crates") => match value {
+                Value::StrArray(v) => {
+                    self.dead_api_crates = v;
+                    Ok(())
+                }
+                _ => err("dead-api.crates must be an array".into()),
+            },
+            _ => err(format!("unknown configuration key [{section}] {key}")),
+        }
+    }
+
+    /// The declared layering must itself be a DAG, and every crate named
+    /// as a dependency must be declared as a layer (so a typo cannot
+    /// silently open a hole).
+    fn validate_layers(&self) -> Result<(), ConfigError> {
+        for (krate, deps) in &self.layers {
+            for d in deps {
+                if !self.layers.contains_key(d) {
+                    return Err(ConfigError {
+                        line: 0,
+                        message: format!("[layers] {krate} depends on undeclared crate `{d}`"),
+                    });
+                }
+            }
+        }
+        // Kahn's algorithm: if a topological order does not consume every
+        // crate, the remainder is cyclic.
+        let mut indegree: BTreeMap<&str, usize> =
+            self.layers.keys().map(|k| (k.as_str(), 0)).collect();
+        for deps in self.layers.values() {
+            for d in deps {
+                if let Some(n) = indegree.get_mut(d.as_str()) {
+                    *n += 1;
+                }
+            }
+        }
+        let mut queue: Vec<&str> = indegree
+            .iter()
+            .filter(|(_, n)| **n == 0)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(k) = queue.pop() {
+            seen += 1;
+            for d in &self.layers[k] {
+                if let Some(n) = indegree.get_mut(d.as_str()) {
+                    *n -= 1;
+                    if *n == 0 {
+                        queue.push(d);
+                    }
+                }
+            }
+        }
+        if seen != self.layers.len() {
+            return Err(ConfigError {
+                line: 0,
+                message: "[layers] declared dependency graph contains a cycle".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The set of crates `krate` may reference: the transitive closure of
+    /// its declared direct dependencies. `None` when `krate` is not
+    /// declared in `[layers]` at all (the layering rule reports that
+    /// separately).
+    pub fn allowed_deps(&self, krate: &str) -> Option<Vec<String>> {
+        self.layers.get(krate)?;
+        let mut out: Vec<String> = Vec::new();
+        let mut stack: Vec<&str> = vec![krate];
+        while let Some(k) = stack.pop() {
+            for d in self.layers.get(k).map(Vec::as_slice).unwrap_or(&[]) {
+                if !out.iter().any(|o| o == d) {
+                    out.push(d.clone());
+                    stack.push(d);
+                }
+            }
+        }
+        out.sort();
+        Some(out)
+    }
+}
+
+/// Drop a `#` comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Strip surrounding double quotes if present (TOML quoted keys).
+fn unquote(s: &str) -> String {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(s)
+        .to_string()
+}
+
+/// Parse the value subset: `"str"`, `true`/`false`, integers, and flat
+/// string arrays (which may span only a single line).
+fn parse_value(s: &str) -> Option<Value> {
+    if s == "true" {
+        return Some(Value::Bool(true));
+    }
+    if s == "false" {
+        return Some(Value::Bool(false));
+    }
+    if let Some(body) = s.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        if !body.contains('"') {
+            return Some(Value::Str(body.to_string()));
+        }
+        return None;
+    }
+    if let Some(body) = s.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let body = body.trim();
+        if body.is_empty() {
+            return Some(Value::StrArray(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            let inner = part.strip_prefix('"')?.strip_suffix('"')?;
+            items.push(inner.to_string());
+        }
+        return Some(Value::StrArray(items));
+    }
+    s.parse::<i64>().ok().map(Value::Int)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# layering
+[layers]
+"sor-graph" = []
+"sor-flow" = ["sor-graph"]
+"sor-core" = ["sor-flow", "sor-graph"] # closure includes graph anyway
+
+[panics]
+public_crates = ["sor-flow", "sor-core"]
+include_indexing = false
+
+[determinism]
+order_crates = ["sor-core"]
+
+[dead-api]
+crates = ["sor-graph"]
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let cfg = Config::parse(SAMPLE).expect("parse");
+        assert_eq!(cfg.layers["sor-flow"], vec!["sor-graph"]);
+        assert_eq!(cfg.panic_public_crates, vec!["sor-flow", "sor-core"]);
+        assert!(!cfg.panic_include_indexing);
+        assert_eq!(cfg.order_crates, vec!["sor-core"]);
+        assert_eq!(cfg.dead_api_crates, vec!["sor-graph"]);
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let cfg = Config::parse(SAMPLE).expect("parse");
+        let deps = cfg.allowed_deps("sor-core").expect("declared");
+        assert_eq!(deps, vec!["sor-flow", "sor-graph"]);
+        assert_eq!(cfg.allowed_deps("sor-graph").expect("declared").len(), 0);
+        assert!(cfg.allowed_deps("sor-unknown").is_none());
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let bad = "[layers]\n\"a\" = [\"b\"]\n\"b\" = [\"a\"]\n";
+        assert!(Config::parse(bad).is_err());
+    }
+
+    #[test]
+    fn undeclared_dep_is_rejected() {
+        let bad = "[layers]\n\"a\" = [\"nope\"]\n";
+        assert!(Config::parse(bad).is_err());
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        assert!(Config::parse("[panics]\nfrobnicate = 3\n").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_default() {
+        let cfg = Config::load(Path::new("/no/such/dir")).expect("default");
+        assert!(cfg.layers.is_empty());
+    }
+}

@@ -42,9 +42,17 @@
 //! toward asking for an allowlist comment rather than silence; `cargo
 //! clippy` (see `[workspace.lints]`) covers the type-aware versions.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod baseline;
+pub mod config;
+pub mod graph;
+pub mod items;
+pub mod report;
+pub mod rules;
 mod strip;
 pub use strip::strip_line;
 
@@ -61,15 +69,20 @@ pub enum Rule {
     FloatEq,
     /// `pub fn` without a doc comment in `sor-core`.
     MissingDocs,
+    /// Any `unsafe` block/fn/impl — the workspace forbids unsafe code
+    /// (`#![forbid(unsafe_code)]` in every crate root backs this up at
+    /// the compiler level; the rule catches the attribute being removed).
+    Unsafe,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 5] = [
+pub const ALL_RULES: [Rule; 6] = [
     Rule::Unwrap,
     Rule::LossyCast,
     Rule::ThreadRng,
     Rule::FloatEq,
     Rule::MissingDocs,
+    Rule::Unsafe,
 ];
 
 impl Rule {
@@ -81,6 +94,7 @@ impl Rule {
             Rule::ThreadRng => "thread-rng",
             Rule::FloatEq => "float-eq",
             Rule::MissingDocs => "missing-docs",
+            Rule::Unsafe => "unsafe-code",
         }
     }
 
@@ -193,46 +207,9 @@ pub fn scan_file(rel: &Path, text: &str, class: FileClass) -> Vec<Violation> {
         .flat_map(|l| parse_allow(l, "sor-check: allow-file("))
         .collect();
 
-    // --- `#[cfg(test)]` region tracking over stripped lines ---
-    // `armed` is set when the attribute is seen; the next item either
-    // opens a brace region (skip until depth returns) or ends with `;`.
-    let mut depth: i32 = 0;
-    let mut armed = false;
-    let mut skip_until: Option<i32> = None;
-    let mut in_test: Vec<bool> = Vec::with_capacity(lines.len());
-    for s in &stripped {
-        let mut line_in_test = skip_until.is_some();
-        if s.contains("#[cfg(test)]") {
-            armed = true;
-            line_in_test = true;
-        }
-        for ch in s.chars() {
-            match ch {
-                '{' => {
-                    if armed && skip_until.is_none() {
-                        skip_until = Some(depth);
-                        armed = false;
-                        line_in_test = true;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if skip_until == Some(depth) {
-                        skip_until = None;
-                        line_in_test = true; // the closing line itself
-                    }
-                }
-                ';' if armed => {
-                    // attribute applied to a brace-less item
-                    armed = false;
-                    line_in_test = true;
-                }
-                _ => {}
-            }
-        }
-        in_test.push(line_in_test || armed);
-    }
+    // `#[cfg(test)]` region tracking over stripped lines (shared with
+    // the semantic pass, see items::test_mask).
+    let in_test = items::test_mask(&stripped);
 
     let allowed = |rule: Rule, idx: usize| -> bool {
         if file_allows.contains(&rule) {
@@ -287,6 +264,17 @@ pub fn scan_file(rel: &Path, text: &str, class: FileClass) -> Vec<Violation> {
             }
         }
 
+        if contains_word(s, "unsafe") && !allowed(Rule::Unsafe, idx) {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: line_no,
+                rule: Rule::Unsafe,
+                message: "`unsafe` is forbidden workspace-wide (see \
+                          `#![forbid(unsafe_code)]` in the crate roots)"
+                    .to_string(),
+            });
+        }
+
         if s.contains("thread_rng") && !allowed(Rule::ThreadRng, idx) {
             out.push(Violation {
                 file: rel.to_path_buf(),
@@ -328,8 +316,10 @@ pub fn scan_file(rel: &Path, text: &str, class: FileClass) -> Vec<Violation> {
     out
 }
 
-/// Parse `sor-check: allow(a, b)`-style lists out of a raw source line.
-fn parse_allow(line: &str, marker: &str) -> Vec<Rule> {
+/// Parse `sor-check: allow(a, b)`-style id lists out of a raw source
+/// line. Semantic rule ids (not in [`ALL_RULES`]) come through too —
+/// the rules in [`rules`] match on the raw strings.
+pub fn parse_allow_ids(line: &str, marker: &str) -> Vec<String> {
     let Some(pos) = line.find(marker) else {
         return Vec::new();
     };
@@ -339,8 +329,38 @@ fn parse_allow(line: &str, marker: &str) -> Vec<Rule> {
     };
     rest[..end]
         .split(',')
-        .filter_map(|id| Rule::from_id(id.trim()))
+        .map(|id| id.trim().to_string())
+        .filter(|id| !id.is_empty())
         .collect()
+}
+
+/// Parse `sor-check: allow(a, b)`-style lists of lexical rules.
+fn parse_allow(line: &str, marker: &str) -> Vec<Rule> {
+    parse_allow_ids(line, marker)
+        .iter()
+        .filter_map(|id| Rule::from_id(id))
+        .collect()
+}
+
+/// Is token `word` present with identifier boundaries on both sides?
+fn contains_word(s: &str, word: &str) -> bool {
+    let mut search = 0;
+    while let Some(rel_pos) = s[search..].find(word) {
+        let pos = search + rel_pos;
+        search = pos + word.len();
+        let before_ok = s[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_'));
+        let after_ok = s[pos + word.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_'));
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
 }
 
 /// All narrowing integer `as`-cast targets on a stripped line.
@@ -490,6 +510,60 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
         }
     }
     Ok(())
+}
+
+/// An analysis failure that is not a finding: unreadable sources, a
+/// malformed `check.toml`, or a malformed baseline.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// Filesystem error while loading sources.
+    Io(std::io::Error),
+    /// `check.toml` did not parse or declared an invalid layering.
+    Config(config::ConfigError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Io(e) => write!(f, "io: {e}"),
+            AnalysisError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for AnalysisError {
+    fn from(e: std::io::Error) -> Self {
+        AnalysisError::Io(e)
+    }
+}
+
+impl From<config::ConfigError> for AnalysisError {
+    fn from(e: config::ConfigError) -> Self {
+        AnalysisError::Config(e)
+    }
+}
+
+/// Run both passes — the lexical rules of PR 1 and the semantic
+/// item-graph rules — over the workspace at `root`, returning every
+/// finding sorted by path, line, and rule. `check.toml` at `root`
+/// configures the semantic rules; without it they are skipped (except
+/// those that need no configuration).
+pub fn analyze_workspace(root: &Path) -> Result<Vec<report::Finding>, AnalysisError> {
+    let cfg = config::Config::load(root)?;
+    let mut findings: Vec<report::Finding> = scan_workspace(root)?
+        .into_iter()
+        .map(report::Finding::from)
+        .collect();
+    let ws = graph::load_workspace(root)?;
+    findings.extend(rules::run_semantic(&ws, &cfg));
+    findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+            .then(a.symbol.cmp(&b.symbol))
+    });
+    Ok(findings)
 }
 
 #[cfg(test)]

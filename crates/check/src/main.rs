@@ -1,39 +1,178 @@
-//! Driver for the workspace lint pass: `cargo run -p sor-check`.
+//! Driver for the workspace analysis: `cargo run -p sor-check`.
 //!
-//! Scans `crates/**/*.rs` and `src/**/*.rs` under the workspace root (or
-//! an explicit root passed as the first argument, used by the integration
-//! tests to point at seeded fixtures), prints one line per violation in
-//! `path:line: [rule] message` form, and exits non-zero when anything
-//! fires.
+//! Runs the lexical lint rules *and* the semantic item-graph pass
+//! (layering / panic-reachability / determinism / dead-API) over the
+//! workspace root (or an explicit root passed as the first positional
+//! argument, used by the integration tests to point at seeded
+//! fixtures).
+//!
+//! ```text
+//! sor-check [ROOT] [--format text|json|sarif] [--output PATH]
+//!           [--baseline PATH] [--no-baseline] [--fail-on-new]
+//!           [--write-baseline PATH]
+//! ```
+//!
+//! A baseline at `<ROOT>/check-baseline.json` is picked up
+//! automatically (override with `--baseline`, disable with
+//! `--no-baseline`); findings whose fingerprint it contains are
+//! *baselined* and do not fail the run — the gate is regression-only,
+//! which is also what `--fail-on-new` names explicitly. Exit codes:
+//! 0 no new findings, 1 new findings, 2 usage/configuration/IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(arg) => PathBuf::from(arg),
-        None => workspace_root(),
+use sor_check::report::{render_json, render_sarif, render_text};
+use sor_check::{analyze_workspace, baseline};
+
+/// Parsed command line.
+struct Opts {
+    root: PathBuf,
+    format: Format,
+    output: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: Option<PathBuf>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: workspace_root(),
+        format: Format::Text,
+        output: None,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: None,
     };
-    if !root.is_dir() {
-        eprintln!("sor-check: root `{}` is not a directory", root.display());
+    let mut args = std::env::args().skip(1);
+    let mut positional_seen = false;
+    while let Some(arg) = args.next() {
+        let mut value_of = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--format" => {
+                opts.format = match value_of("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--output" => opts.output = Some(PathBuf::from(value_of("--output")?)),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value_of("--baseline")?)),
+            "--no-baseline" => opts.no_baseline = true,
+            // The gate is regression-only whenever a baseline is in
+            // effect; the flag exists so CI invocations state the
+            // policy explicitly.
+            "--fail-on-new" => {}
+            "--write-baseline" => {
+                opts.write_baseline = Some(PathBuf::from(value_of("--write-baseline")?));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            positional => {
+                if positional_seen {
+                    return Err(format!("unexpected extra argument `{positional}`"));
+                }
+                positional_seen = true;
+                opts.root = PathBuf::from(positional);
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sor-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !opts.root.is_dir() {
+        eprintln!(
+            "sor-check: root `{}` is not a directory",
+            opts.root.display()
+        );
         return ExitCode::from(2);
     }
-    match sor_check::scan_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("sor-check: clean ({} rules)", sor_check::ALL_RULES.len());
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
-            }
-            println!("sor-check: {} violation(s)", violations.len());
-            ExitCode::FAILURE
-        }
+
+    let findings = match analyze_workspace(&opts.root) {
+        Ok(f) => f,
         Err(e) => {
-            eprintln!("sor-check: scan failed: {e}");
-            ExitCode::from(2)
+            eprintln!("sor-check: analysis failed: {e}");
+            return ExitCode::from(2);
         }
+    };
+
+    if let Some(path) = &opts.write_baseline {
+        let text = baseline::render(&findings);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("sor-check: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "sor-check: wrote baseline with {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_path = if opts.no_baseline {
+        None
+    } else {
+        Some(
+            opts.baseline
+                .clone()
+                .unwrap_or_else(|| opts.root.join("check-baseline.json")),
+        )
+    };
+    let baseline_set = match &baseline_path {
+        Some(p) => match baseline::load(p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sor-check: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Default::default(),
+    };
+    let (new, baselined) = baseline::partition(findings, &baseline_set);
+
+    let rendered = match opts.format {
+        Format::Text => render_text(&new, baselined.len()),
+        Format::Json => render_json(&new, &baselined),
+        Format::Sarif => render_sarif(&new, &baselined),
+    };
+    match &opts.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("sor-check: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            // Keep the terminal summary even when the report goes to a
+            // file, so CI logs stay readable.
+            if opts.format != Format::Text {
+                print!("{}", render_text(&new, baselined.len()));
+            }
+        }
+        None => print!("{rendered}"),
+    }
+
+    if new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -1,0 +1,316 @@
+//! Unified findings and the three output formats.
+//!
+//! Both passes funnel into [`Finding`]: the lexical rules of PR 1 (via
+//! [`crate::Violation`]) and the semantic rules built on the item
+//! graph. A finding carries an optional *witness* — for
+//! panic-reachability, the shortest call chain from the reported public
+//! function to the offending site — and a stable [`Finding::fingerprint`]
+//! that the baseline mechanism keys on (deliberately line-free, so
+//! unrelated edits that shift line numbers do not churn the baseline).
+//!
+//! Formats: `text` for humans, `json` for scripting, `sarif` (2.1.0)
+//! for code-scanning UIs. All three are hand-rolled writers — the
+//! registry is unreachable from CI, so no `serde`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::Violation;
+
+/// Identifier and one-line description of every rule either pass can
+/// fire, in reporting order (used for SARIF rule metadata and `--help`).
+pub const RULE_DESCRIPTIONS: [(&str, &str); 11] = [
+    ("unwrap", "no .unwrap()/.expect()/panic! in library code"),
+    (
+        "lossy-cast",
+        "no narrowing `as` casts in numeric-core crates",
+    ),
+    (
+        "thread-rng",
+        "no thread_rng(); randomness is seeded and explicit",
+    ),
+    ("float-eq", "no ==/!= against float literals"),
+    (
+        "missing-docs",
+        "sor-core public functions carry doc comments",
+    ),
+    ("unsafe-code", "no unsafe blocks anywhere in the workspace"),
+    (
+        "layering",
+        "crate references respect the declared layer DAG",
+    ),
+    (
+        "panic-path",
+        "no panic reachable from public solver-crate functions",
+    ),
+    (
+        "unseeded-rng",
+        "functions constructing RNGs take a seed or Rng parameter",
+    ),
+    (
+        "hash-order",
+        "no HashMap/HashSet iteration order in solver/sampler output",
+    ),
+    (
+        "dead-api",
+        "public items are referenced somewhere outside their crate",
+    ),
+];
+
+/// One finding from either pass.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable rule identifier (see [`RULE_DESCRIPTIONS`]).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Item path the finding anchors to (`sor-flow::restricted::solve`),
+    /// empty for purely positional findings.
+    pub symbol: String,
+    /// Human-oriented message.
+    pub message: String,
+    /// Optional witness chain, outermost first. For `panic-path`: the
+    /// call path ending in the panic site.
+    pub witness: Vec<String>,
+}
+
+impl Finding {
+    /// Baseline key: rule + file + symbol (or the message when the
+    /// finding has no symbol). Line numbers are deliberately excluded so
+    /// the baseline survives unrelated edits above a finding.
+    pub fn fingerprint(&self) -> String {
+        let anchor = if self.symbol.is_empty() {
+            &self.message
+        } else {
+            &self.symbol
+        };
+        format!("{}:{}:{}", self.rule, self.file.display(), anchor)
+    }
+}
+
+impl From<Violation> for Finding {
+    fn from(v: Violation) -> Finding {
+        Finding {
+            rule: v.rule.id().to_string(),
+            file: v.file,
+            line: v.line,
+            symbol: String::new(),
+            message: v.message,
+            witness: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )?;
+        for (i, step) in self.witness.iter().enumerate() {
+            write!(f, "\n    {}{}", if i == 0 { "via " } else { "  → " }, step)?;
+        }
+        Ok(())
+    }
+}
+
+/// Render the human report: new findings in full, baselined ones as a
+/// single summary count.
+pub fn render_text(new: &[Finding], baselined: usize) -> String {
+    let mut out = String::new();
+    for f in new {
+        let _ = writeln!(out, "{f}");
+    }
+    if new.is_empty() {
+        let _ = write!(out, "sor-check: clean");
+    } else {
+        let _ = write!(out, "sor-check: {} new finding(s)", new.len());
+    }
+    if baselined > 0 {
+        let _ = write!(out, " ({baselined} baselined)");
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Escape a string for a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write one finding as a JSON object.
+fn finding_json(f: &Finding, indent: &str) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{indent}{{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"symbol\": \"{}\", \"message\": \"{}\"",
+        json_escape(&f.rule),
+        json_escape(&f.file.display().to_string()),
+        f.line,
+        json_escape(&f.symbol),
+        json_escape(&f.message),
+    );
+    if !f.witness.is_empty() {
+        let steps: Vec<String> = f
+            .witness
+            .iter()
+            .map(|w| format!("\"{}\"", json_escape(w)))
+            .collect();
+        let _ = write!(out, ", \"witness\": [{}]", steps.join(", "));
+    }
+    out.push('}');
+    out
+}
+
+/// Render the machine-readable JSON report (new and baselined findings,
+/// separated).
+pub fn render_json(new: &[Finding], baselined: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"tool\": \"sor-check\",\n  \"new\": [\n");
+    let items: Vec<String> = new.iter().map(|f| finding_json(f, "    ")).collect();
+    out.push_str(&items.join(",\n"));
+    out.push_str("\n  ],\n  \"baselined\": [\n");
+    let items: Vec<String> = baselined.iter().map(|f| finding_json(f, "    ")).collect();
+    out.push_str(&items.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Render a SARIF 2.1.0 log. Baselined findings are included with
+/// `"baselineState": "unchanged"`; new ones with `"new"` — code-scanning
+/// UIs use the distinction the same way `--fail-on-new` does.
+pub fn render_sarif(new: &[Finding], baselined: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"sor-check\",\n");
+    out.push_str(
+        "          \"informationUri\": \"https://example.invalid/semi-oblivious-routing\",\n",
+    );
+    out.push_str("          \"rules\": [\n");
+    let rules: Vec<String> = RULE_DESCRIPTIONS
+        .iter()
+        .map(|(id, desc)| {
+            format!(
+                "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+                json_escape(id),
+                json_escape(desc)
+            )
+        })
+        .collect();
+    out.push_str(&rules.join(",\n"));
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [\n");
+    let mut results = Vec::new();
+    for (state, set) in [("new", new), ("unchanged", baselined)] {
+        for f in set {
+            let mut r = String::new();
+            let _ = write!(
+                r,
+                "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"baselineState\": \"{}\", \
+                 \"message\": {{\"text\": \"{}\"}}, \"partialFingerprints\": \
+                 {{\"sorCheck/v1\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+                 {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+                json_escape(&f.rule),
+                state,
+                json_escape(&full_message(f)),
+                json_escape(&f.fingerprint()),
+                json_escape(&f.file.display().to_string()),
+                f.line.max(1),
+            );
+            results.push(r);
+        }
+    }
+    out.push_str(&results.join(",\n"));
+    out.push_str("\n      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Message with the witness chain folded in (SARIF has one text field).
+fn full_message(f: &Finding) -> String {
+    if f.witness.is_empty() {
+        return f.message.clone();
+    }
+    format!("{} [via {}]", f.message, f.witness.join(" → "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            rule: "panic-path".into(),
+            file: PathBuf::from("crates/flow/src/x.rs"),
+            line: 10,
+            symbol: "sor-flow::x::f".into(),
+            message: "panic reachable".into(),
+            witness: vec![
+                "sor-flow::x::f".into(),
+                ".expect(..) at crates/flow/src/y.rs:3".into(),
+            ],
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_line_free() {
+        let mut f = sample();
+        let a = f.fingerprint();
+        f.line = 99;
+        assert_eq!(a, f.fingerprint());
+        assert!(a.starts_with("panic-path:"));
+    }
+
+    #[test]
+    fn text_report_shows_witness_and_counts() {
+        let text = render_text(&[sample()], 2);
+        assert!(text.contains("via sor-flow::x::f"), "{text}");
+        assert!(text.contains("1 new finding(s) (2 baselined)"), "{text}");
+        let clean = render_text(&[], 0);
+        assert!(clean.contains("clean"));
+    }
+
+    #[test]
+    fn json_is_shaped() {
+        let json = render_json(&[sample()], &[]);
+        assert!(json.contains("\"rule\": \"panic-path\""));
+        assert!(json.contains("\"witness\": ["));
+        assert!(json.contains("\"baselined\": ["));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_states() {
+        let s = render_sarif(&[sample()], &[sample()]);
+        assert!(s.contains("sarif-2.1.0.json"));
+        assert!(s.contains("\"baselineState\": \"new\""));
+        assert!(s.contains("\"baselineState\": \"unchanged\""));
+        for (id, _) in RULE_DESCRIPTIONS {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "{id} missing");
+        }
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,162 @@
+//! `dead-api`: public items nobody outside their crate references.
+//!
+//! A `pub` item in a crate listed in `check.toml [dead-api] crates`
+//! must have its name appear somewhere in another crate's code — src,
+//! tests, benches, or the root package's `tests/` and `examples/` all
+//! count as evidence of use. Items failing that are either missing test
+//! coverage, leftovers to delete, or API that should be `pub(crate)`.
+//!
+//! Matching is by identifier, so the audit under-reports when two
+//! crates declare same-named items (the shared name keeps both alive)
+//! and cannot see uses that only go through glob re-exports plus
+//! methods. Impl-block methods are out of scope for the same reason —
+//! method names are too generic to attribute. Both limitations trade
+//! recall for a near-zero false-positive rate, which is what lets the
+//! baseline stay small.
+
+use crate::config::Config;
+use crate::graph::Workspace;
+use crate::items::{ItemKind, Visibility};
+use crate::report::Finding;
+
+use super::allows;
+
+/// Run the dead-API rule.
+pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    if cfg.dead_api_crates.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !cfg.dead_api_crates.iter().any(|c| c == &file.krate) {
+            continue;
+        }
+        for item in &file.items {
+            if item.vis != Visibility::Public
+                || item.self_ty.is_some()
+                || item.in_trait_impl
+                || (item.kind == ItemKind::Fn && item.name == "main")
+            {
+                continue;
+            }
+            let externally_used = ws
+                .ident_crates
+                .get(&item.name)
+                .is_some_and(|users| users.iter().any(|u| u != &file.krate));
+            if externally_used || allows(file, item.line, "dead-api") {
+                continue;
+            }
+            let kind = match item.kind {
+                ItemKind::Fn => "fn",
+                ItemKind::Struct => "struct",
+                ItemKind::Enum => "enum",
+                ItemKind::Trait => "trait",
+                ItemKind::Const => "const",
+                ItemKind::Static => "static",
+                ItemKind::TypeAlias => "type alias",
+            };
+            out.push(Finding {
+                rule: "dead-api".into(),
+                file: file.rel.clone(),
+                line: item.line,
+                symbol: format!("{}::{}", file.krate, item.path_in(&file.module)),
+                message: format!(
+                    "pub {kind} `{}` has no reference outside `{}` — delete it, demote \
+                     it to pub(crate), or cover it from another crate",
+                    item.name, file.krate
+                ),
+                witness: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use std::path::Path;
+
+    fn cfg() -> Config {
+        Config::parse("[dead-api]\ncrates = [\"sor-flow\"]\n").expect("cfg")
+    }
+
+    /// Build a workspace with the ident index populated the same way
+    /// `graph::load_workspace` does it.
+    fn ws(files: &[(&str, &str, &str)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (rel, krate, text) in files {
+            let parsed = parse_file(Path::new(rel), krate, text);
+            for line in &parsed.stripped {
+                let mut cur = String::new();
+                for c in line.chars().chain(std::iter::once(' ')) {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        cur.push(c);
+                    } else if !cur.is_empty() {
+                        ws.ident_crates
+                            .entry(std::mem::take(&mut cur))
+                            .or_default()
+                            .insert(krate.to_string());
+                    }
+                }
+            }
+            ws.files.push(parsed);
+        }
+        ws
+    }
+
+    #[test]
+    fn unreferenced_pub_item_is_dead() {
+        let ws = ws(&[(
+            "crates/flow/src/a.rs",
+            "sor-flow",
+            "pub fn orphan_entry_point() {}\npub struct OrphanType;\n",
+        )]);
+        let fs = run(&ws, &cfg());
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs
+            .iter()
+            .any(|f| f.symbol == "sor-flow::a::orphan_entry_point"));
+        assert!(fs
+            .iter()
+            .any(|f| f.message.contains("pub struct `OrphanType`")));
+    }
+
+    #[test]
+    fn cross_crate_reference_keeps_item_alive() {
+        let ws = ws(&[
+            (
+                "crates/flow/src/a.rs",
+                "sor-flow",
+                "pub fn used_elsewhere() {}\n",
+            ),
+            (
+                "crates/te/src/a.rs",
+                "sor-te",
+                "fn f() { used_elsewhere(); }\n",
+            ),
+        ]);
+        assert!(run(&ws, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn same_crate_reference_does_not_count() {
+        let ws = ws(&[(
+            "crates/flow/src/a.rs",
+            "sor-flow",
+            "pub fn only_local() {}\nfn f() { only_local(); }\n",
+        )]);
+        assert_eq!(run(&ws, &cfg()).len(), 1);
+    }
+
+    #[test]
+    fn private_items_methods_and_allows_are_skipped() {
+        let ws = ws(&[(
+            "crates/flow/src/a.rs",
+            "sor-flow",
+            "fn private() {}\npub(crate) fn internal() {}\nstruct S;\nimpl S {\n    pub fn method(&self) {}\n}\n// sor-check: allow(dead-api) — staged API for the next PR\npub fn staged() {}\n",
+        )]);
+        assert!(run(&ws, &cfg()).is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Determinism audit: the paper's sampling experiments (Theorems
+//! 2.3/2.5) are Monte-Carlo — they are only *reproducible* if every
+//! random draw is seeded by the caller and no output ordering leaks
+//! hash-table iteration order.
+//!
+//! Two rules:
+//!
+//! * `unseeded-rng` — a function in `[determinism] rng_crates` that
+//!   constructs an RNG from ambient entropy (`from_entropy`,
+//!   `thread_rng`, `from_os_rng`) must take a seed or `Rng` parameter,
+//!   so the entropy source is always chosen at the experiment boundary,
+//!   never buried in library code. Seeded constructors are fine: a
+//!   stream derived from a stored seed is deterministic by definition.
+//!   (The bench crate is out of scope by configuration: its hard-coded
+//!   seeds define the experiments.)
+//! * `hash-order` — a function in `[determinism] order_crates` must not
+//!   iterate a `HashMap`/`HashSet` local (`.iter()`, `.keys()`, `for
+//!   .. in ..`, `.drain()`, ...): with the default `RandomState` the
+//!   order differs per process, so anything downstream of it is
+//!   unreproducible. Sort first or use a `BTreeMap`/`Vec`.
+
+use crate::config::Config;
+use crate::graph::Workspace;
+use crate::items::ItemKind;
+use crate::report::Finding;
+
+use super::allows;
+
+/// Run both determinism rules.
+pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let rng_scope = cfg.rng_crates.iter().any(|c| c == &file.krate);
+        let order_scope = cfg.order_crates.iter().any(|c| c == &file.krate);
+        if !rng_scope && !order_scope {
+            continue;
+        }
+        for item in &file.items {
+            if item.kind != ItemKind::Fn {
+                continue;
+            }
+            if rng_scope {
+                if let Some(&line) = item.facts.rng_ctors.first() {
+                    let sig = item.signature.to_lowercase();
+                    let seeded = sig.contains("rng") || sig.contains("seed");
+                    if !seeded
+                        && !allows(file, line, "unseeded-rng")
+                        && !allows(file, item.line, "unseeded-rng")
+                    {
+                        out.push(Finding {
+                            rule: "unseeded-rng".into(),
+                            file: file.rel.clone(),
+                            line,
+                            symbol: format!("{}::{}", file.krate, item.path_in(&file.module)),
+                            message: format!(
+                                "`{}` constructs an RNG but takes no seed/`Rng` parameter — \
+                                 thread the entropy source in from the caller so experiments \
+                                 stay reproducible",
+                                item.name
+                            ),
+                            witness: Vec::new(),
+                        });
+                    }
+                }
+            }
+            if order_scope {
+                for &line in &item.facts.hash_iters {
+                    if allows(file, line, "hash-order") {
+                        continue;
+                    }
+                    out.push(Finding {
+                        rule: "hash-order".into(),
+                        file: file.rel.clone(),
+                        line,
+                        symbol: format!("{}::{}:{line}", file.krate, item.path_in(&file.module)),
+                        message: format!(
+                            "`{}` iterates a HashMap/HashSet — the order is per-process \
+                             random; sort first or use a BTreeMap/Vec before it feeds \
+                             any output",
+                            item.name
+                        ),
+                        witness: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use std::path::Path;
+
+    fn cfg() -> Config {
+        Config::parse("[determinism]\norder_crates = [\"sor-core\"]\nrng_crates = [\"sor-core\"]\n")
+            .expect("cfg")
+    }
+
+    fn ws(files: &[(&str, &str, &str)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (rel, krate, text) in files {
+            ws.files.push(parse_file(Path::new(rel), krate, text));
+        }
+        ws
+    }
+
+    #[test]
+    fn unseeded_rng_flagged_seeded_ok() {
+        let bad = ws(&[(
+            "crates/core/src/a.rs",
+            "sor-core",
+            "pub fn sample(n: usize) -> usize {\n    let mut r = StdRng::from_entropy();\n    let _ = r;\n    n\n}\n",
+        )]);
+        let fs = run(&bad, &cfg());
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "unseeded-rng");
+        assert!(fs[0].symbol.contains("sample"));
+
+        let takes_seed = ws(&[(
+            "crates/core/src/a.rs",
+            "sor-core",
+            "pub fn sample(n: usize, seed: u64) -> usize {\n    let mut r = StdRng::from_entropy();\n    let _ = r;\n    let _ = seed;\n    n\n}\n",
+        )]);
+        assert!(run(&takes_seed, &cfg()).is_empty());
+
+        // constructing from a stored seed is deterministic — never flagged
+        let stored_seed = ws(&[(
+            "crates/core/src/a.rs",
+            "sor-core",
+            "pub fn sample(n: usize) -> usize {\n    let mut r = StdRng::seed_from_u64(42);\n    let _ = r;\n    n\n}\n",
+        )]);
+        assert!(run(&stored_seed, &cfg()).is_empty());
+
+        let takes_rng = ws(&[(
+            "crates/core/src/a.rs",
+            "sor-core",
+            "pub fn sample<R: Rng>(n: usize, r: &mut R) -> usize {\n    let mut fork = StdRng::from_entropy();\n    let _ = fork;\n    let _ = r;\n    n\n}\n",
+        )]);
+        assert!(run(&takes_rng, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let bench = ws(&[(
+            "crates/bench/src/a.rs",
+            "sor-bench",
+            "pub fn experiment() {\n    let mut r = StdRng::from_entropy();\n    let _ = r;\n}\n",
+        )]);
+        assert!(run(&bench, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_flagged_and_allowed() {
+        let text = "pub fn collect() -> Vec<u32> {\n    let mut m = HashMap::new();\n    m.insert(1u32, 2u32);\n    let mut out = Vec::new();\n    for (k, _) in m.iter() {\n        out.push(*k);\n    }\n    out\n}\n";
+        let bad = ws(&[("crates/core/src/a.rs", "sor-core", text)]);
+        let fs = run(&bad, &cfg());
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "hash-order");
+        assert_eq!(fs[0].line, 5);
+
+        let allowed = text.replace(
+            "    for (k, _) in m.iter() {",
+            "    // sor-check: allow(hash-order) — result is sorted below\n    for (k, _) in m.iter() {",
+        );
+        let ok = ws(&[("crates/core/src/a.rs", "sor-core", allowed.as_str())]);
+        assert!(run(&ok, &cfg()).is_empty());
+    }
+}

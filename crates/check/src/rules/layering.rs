@@ -1,0 +1,179 @@
+//! `layering`: enforce the crate DAG declared in `check.toml [layers]`.
+//!
+//! Compact-routing systems live or die by what state each layer may
+//! depend on (cf. Räcke–Schmid's compact oblivious routing, where the
+//! scheme is *defined* by the information a node is allowed to hold);
+//! this workspace's equivalent is the crate order `sor-graph →
+//! sor-flow/sor-oblivious → sor-core → sor-te`. The rule scans every
+//! analyzed line for references to workspace crates (`sor_flow::...`)
+//! and reports any reference outside the transitive closure of the
+//! declared direct dependencies. Undeclared crates are reported too, so
+//! a new crate cannot ride outside the DAG by omission.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::graph::Workspace;
+use crate::report::Finding;
+
+use super::allows;
+
+/// Run the layering rule.
+pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    if cfg.layers.is_empty() {
+        return Vec::new();
+    }
+    // underscore token → declared crate name
+    let tokens: BTreeMap<String, &str> = cfg
+        .layers
+        .keys()
+        .map(|k| (k.replace('-', "_"), k.as_str()))
+        .collect();
+
+    let mut out = Vec::new();
+    let mut undeclared_reported: BTreeSet<&str> = BTreeSet::new();
+    // (file, offending crate) pairs already reported — one finding per
+    // file per illegal edge keeps reports readable.
+    let mut seen: BTreeSet<(usize, &str)> = BTreeSet::new();
+
+    for (fi, file) in ws.files.iter().enumerate() {
+        let krate = file.krate.as_str();
+        let Some(allowed) = cfg.allowed_deps(krate) else {
+            if undeclared_reported.insert(krate) {
+                out.push(Finding {
+                    rule: "layering".into(),
+                    file: file.rel.clone(),
+                    line: 1,
+                    symbol: krate.to_string(),
+                    message: format!(
+                        "crate `{krate}` is not declared in check.toml [layers]; every \
+                         workspace crate must name its allowed dependencies"
+                    ),
+                    witness: Vec::new(),
+                });
+            }
+            continue;
+        };
+        for (idx, s) in file.stripped.iter().enumerate() {
+            if file.in_test[idx] {
+                continue;
+            }
+            for token in idents(s) {
+                let Some(&dep) = tokens.get(&token) else {
+                    continue;
+                };
+                if dep == krate || allowed.iter().any(|a| a == dep) {
+                    continue;
+                }
+                if allows(file, idx + 1, "layering") {
+                    continue;
+                }
+                if !seen.insert((fi, dep)) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: "layering".into(),
+                    file: file.rel.clone(),
+                    line: idx + 1,
+                    symbol: format!("{krate} -> {dep}"),
+                    message: format!(
+                        "`{krate}` may not reference `{dep}` (declared deps: {}); the \
+                         crate DAG in check.toml is the layering contract",
+                        if allowed.is_empty() {
+                            "none".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    ),
+                    witness: Vec::new(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// All identifier tokens of a stripped line.
+fn idents(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars().chain(std::iter::once(' ')) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use std::path::Path;
+
+    fn cfg() -> Config {
+        Config::parse("[layers]\n\"sor-graph\" = []\n\"sor-core\" = [\"sor-graph\"]\n")
+            .expect("cfg")
+    }
+
+    fn ws(files: &[(&str, &str, &str)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (rel, krate, text) in files {
+            ws.files.push(parse_file(Path::new(rel), krate, text));
+        }
+        ws
+    }
+
+    #[test]
+    fn upward_reference_is_flagged_once_per_file() {
+        let ws = ws(&[(
+            "crates/graph/src/lib.rs",
+            "sor-graph",
+            "use sor_core::Thing;\nfn f() { sor_core::other(); }\n",
+        )]);
+        let fs = run(&ws, &cfg());
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].symbol, "sor-graph -> sor-core");
+        assert_eq!(fs[0].line, 1);
+    }
+
+    #[test]
+    fn declared_dependency_is_fine() {
+        let ws = ws(&[(
+            "crates/core/src/lib.rs",
+            "sor-core",
+            "use sor_graph::Graph;\n",
+        )]);
+        assert!(run(&ws, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn undeclared_crate_is_reported() {
+        let ws = ws(&[("crates/new/src/lib.rs", "sor-new", "fn f() {}\n")]);
+        let fs = run(&ws, &cfg());
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("not declared"));
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let ws = ws(&[(
+            "crates/graph/src/lib.rs",
+            "sor-graph",
+            "// sor-check: allow(layering) — doc example referencing the stack above\nuse sor_core::Thing;\n",
+        )]);
+        assert!(run(&ws, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn no_config_no_findings() {
+        let ws = ws(&[(
+            "crates/graph/src/lib.rs",
+            "sor-graph",
+            "use sor_core::Thing;\n",
+        )]);
+        assert!(run(&ws, &Config::default()).is_empty());
+    }
+}

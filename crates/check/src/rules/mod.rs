@@ -1,0 +1,57 @@
+//! The semantic rules, each built on the item graph.
+//!
+//! | id | meaning |
+//! |----|---------|
+//! | `layering` | crate references respect the DAG declared in `check.toml [layers]` |
+//! | `panic-path` | no panic reachable from `pub` fns of the configured crates, with a shortest witness call chain |
+//! | `unseeded-rng` | functions constructing an RNG take a seed/`Rng` parameter |
+//! | `hash-order` | no `HashMap`/`HashSet` iteration order observable in sampler/solver code |
+//! | `dead-api` | `pub` items are referenced somewhere outside their own crate |
+//!
+//! Every rule honors the same `sor-check: allow(<id>)` comment
+//! mechanism as the lexical pass (same line or the line directly
+//! above), and anything deliberately tolerated long-term goes in
+//! `check-baseline.json` instead.
+
+use crate::config::Config;
+use crate::graph::{ItemGraph, Workspace};
+use crate::items::SourceFile;
+use crate::parse_allow_ids;
+use crate::report::Finding;
+
+pub mod dead_api;
+pub mod determinism;
+pub mod layering;
+pub mod panics;
+
+/// Run every semantic rule over a loaded workspace.
+pub fn run_semantic(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let graph = ItemGraph::build(ws);
+    let mut out = layering::run(ws, cfg);
+    out.extend(panics::run(ws, &graph, cfg));
+    out.extend(determinism::run(ws, cfg));
+    out.extend(dead_api::run(ws, cfg));
+    out
+}
+
+/// Does line `line_no` (1-based) of `file` carry an allowlist comment
+/// for rule `id`, on the same line, the line directly above, or as a
+/// file-wide `allow-file`?
+pub(crate) fn allows(file: &SourceFile, line_no: usize, id: &str) -> bool {
+    let idx = line_no.saturating_sub(1);
+    let at = |i: usize| -> bool {
+        file.raw.get(i).is_some_and(|l| {
+            parse_allow_ids(l, "sor-check: allow(")
+                .iter()
+                .any(|a| a == id)
+        })
+    };
+    if at(idx) || (idx > 0 && at(idx - 1)) {
+        return true;
+    }
+    file.raw.iter().any(|l| {
+        parse_allow_ids(l, "sor-check: allow-file(")
+            .iter()
+            .any(|a| a == id)
+    })
+}

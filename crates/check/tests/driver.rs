@@ -1,11 +1,15 @@
 //! End-to-end tests for the `sor-check` driver: the binary must exit
 //! non-zero on a workspace seeded with violations, zero on a clean one,
 //! and zero on the real workspace (the acceptance gate CI enforces).
+//! The semantic pass is covered against the same fixtures: every
+//! item-graph rule fires on `bad_ws`, witness chains are exact, and the
+//! baseline turns the gate regression-only.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use sor_check::{scan_workspace, Rule};
+use sor_check::baseline::parse_json;
+use sor_check::{analyze_workspace, scan_workspace, Rule};
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -80,6 +84,142 @@ fn binary_exits_zero_on_clean_fixture() {
         .status()
         .expect("run sor-check on clean_ws");
     assert_eq!(status.code(), Some(0), "expected exit 0 on clean fixture");
+}
+
+#[test]
+fn semantic_rules_all_fire_on_bad_ws() {
+    let findings = analyze_workspace(&fixture("bad_ws")).expect("analyze bad_ws");
+    for rule in [
+        "layering",
+        "panic-path",
+        "unseeded-rng",
+        "hash-order",
+        "dead-api",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "semantic rule {rule} did not fire on bad_ws; got: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn panic_path_reports_shortest_witness_chain() {
+    let findings = analyze_workspace(&fixture("bad_ws")).expect("analyze bad_ws");
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "panic-path" && f.symbol.ends_with("solver_entry"))
+        .expect("panic-path finding for solver_entry");
+    // entry → middle → deep → the concrete site
+    assert_eq!(f.witness.len(), 4, "{:?}", f.witness);
+    assert!(f.witness[0].contains("solver_entry"), "{:?}", f.witness);
+    assert!(f.witness[1].contains("solver_middle"), "{:?}", f.witness);
+    assert!(f.witness[2].contains("solver_deep"), "{:?}", f.witness);
+    assert!(f.witness[3].contains(".expect("), "{:?}", f.witness);
+    assert!(f.message.contains("2 calls deep"), "{}", f.message);
+}
+
+#[test]
+fn layering_violation_names_the_illegal_edge() {
+    let findings = analyze_workspace(&fixture("bad_ws")).expect("analyze bad_ws");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "layering" && f.symbol == "sor-graph -> sor-core"),
+        "expected a sor-graph -> sor-core layering finding; got: {findings:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_has_no_semantic_findings() {
+    let findings = analyze_workspace(&fixture("clean_ws")).expect("analyze clean_ws");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn baseline_makes_the_gate_regression_only() {
+    let tmp = std::env::temp_dir().join("sor_check_bad_ws_baseline.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_sor-check"))
+        .arg(fixture("bad_ws"))
+        .arg("--write-baseline")
+        .arg(&tmp)
+        .status()
+        .expect("write baseline");
+    assert_eq!(status.code(), Some(0), "--write-baseline must succeed");
+    let status = Command::new(env!("CARGO_BIN_EXE_sor-check"))
+        .arg(fixture("bad_ws"))
+        .arg("--baseline")
+        .arg(&tmp)
+        .arg("--fail-on-new")
+        .status()
+        .expect("gated run");
+    std::fs::remove_file(&tmp).ok();
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "every finding is baselined, so the gate must pass"
+    );
+}
+
+#[test]
+fn sarif_output_is_wellformed() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sor-check"))
+        .arg(fixture("bad_ws"))
+        .arg("--no-baseline")
+        .arg("--format")
+        .arg("sarif")
+        .output()
+        .expect("sarif run");
+    let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("stdout is valid JSON");
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_str()),
+        Some("2.1.0"),
+        "SARIF version"
+    );
+    let runs = doc
+        .get("runs")
+        .and_then(|r| r.as_arr())
+        .expect("runs array");
+    assert!(!runs.is_empty());
+    let results = runs[0]
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .expect("results array");
+    assert!(
+        results
+            .iter()
+            .any(|r| { r.get("ruleId").and_then(|id| id.as_str()) == Some("panic-path") }),
+        "SARIF results must carry semantic ruleIds"
+    );
+}
+
+#[test]
+fn json_output_is_wellformed() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sor-check"))
+        .arg(fixture("bad_ws"))
+        .arg("--no-baseline")
+        .arg("--format")
+        .arg("json")
+        .output()
+        .expect("json run");
+    let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("stdout is valid JSON");
+    let new = doc.get("new").and_then(|f| f.as_arr()).expect("new array");
+    assert!(!new.is_empty());
+    assert!(doc.get("baselined").is_some(), "baselined array present");
+}
+
+#[test]
+fn real_workspace_gate_passes_with_committed_baseline() {
+    let status = Command::new(env!("CARGO_BIN_EXE_sor-check"))
+        .arg(workspace_root())
+        .arg("--fail-on-new")
+        .status()
+        .expect("run sor-check on the real workspace");
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "the real workspace must have no findings beyond check-baseline.json"
+    );
 }
 
 #[test]

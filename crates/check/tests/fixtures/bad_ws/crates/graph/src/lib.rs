@@ -12,3 +12,14 @@ pub fn seeded(x: f64, o: Option<u32>) -> u32 {
     let _ = rng.gen_range(0..4);
     v + t
 }
+
+// Seeded unsafe-code violation.
+pub fn read_raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+// Seeded layering violation: sor-graph is the bottom layer and may not
+// reference sor-core.
+pub fn upward(x: u32) -> u32 {
+    sor_core::helper(x)
+}

@@ -55,6 +55,8 @@
 //! assert!(semi / opt.congestion_upper < 6.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod completion;
 pub mod eval;
 pub mod lowerbound;

@@ -17,7 +17,7 @@ use crate::path_system::PathSystem;
 use sor_flow::{max_concurrent_flow, Demand};
 use sor_graph::gen::TwoStar;
 use sor_graph::NodeId;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The adversary's output: a hard permutation demand plus its certificate.
 #[derive(Clone, Debug)]
@@ -61,10 +61,11 @@ fn max_matching(nl: usize, nr: usize, adj: &[Vec<usize>]) -> Vec<(usize, usize)>
                 continue;
             }
             seen[v] = true;
-            if match_r[v].is_none()
-                // sor-check: allow(unwrap) — invariant stated in the expect message
-                || try_kuhn(match_r[v].expect("checked"), adj, seen, match_r, match_l)
-            {
+            let free_or_moved = match match_r[v] {
+                None => true,
+                Some(w) => try_kuhn(w, adj, seen, match_r, match_l),
+            };
+            if free_or_moved {
                 match_r[v] = Some(u);
                 match_l[u] = Some(v);
                 return true;
@@ -135,7 +136,7 @@ fn adversary_core(
     let m = left.len();
     assert_eq!(m, right.len());
     // Middle-set signature of each covered leaf pair.
-    let mut mids_of: HashMap<(usize, usize), BTreeSet<u32>> = HashMap::new();
+    let mut mids_of: BTreeMap<(usize, usize), BTreeSet<u32>> = BTreeMap::new();
     for (i, &l) in left.iter().enumerate() {
         for (j, &r) in right.iter().enumerate() {
             let paths = system.paths(l, r);

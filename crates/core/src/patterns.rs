@@ -22,8 +22,11 @@ pub fn pattern_of_run(deleted_at: &[f64], theta: f64, total_draws: usize) -> Opt
     Some(
         deleted_at
             .iter()
-            // sor-check: allow(lossy-cast) — floor of a non-negative bounded ratio
-            .map(|&w| (w / theta + 1e-9).floor() as u64)
+            .map(
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                // sor-check: allow(lossy-cast) — floor of a non-negative bounded ratio
+                |&w| (w / theta + 1e-9).floor() as u64,
+            )
             .collect(),
     )
 }
@@ -42,6 +45,7 @@ pub fn is_bad_pattern(pattern: &[u64], min_nonzero: u64, min_sum: u64, total: u6
 pub fn count_bad_patterns(m: usize, min_nonzero: u64, min_sum: u64, total: u64) -> u128 {
     assert!(min_nonzero >= 1);
     // dp[s] = number of tuples over the edges processed so far with sum s.
+    #[allow(clippy::cast_possible_truncation)]
     // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
     let cap = total as usize;
     let mut dp = vec![0u128; cap + 1];
@@ -52,6 +56,7 @@ pub fn count_bad_patterns(m: usize, min_nonzero: u64, min_sum: u64, total: u64) 
             if ways == 0 {
                 continue;
             }
+            #[allow(clippy::cast_possible_truncation)]
             // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
             let mut c = min_nonzero as usize;
             while s + c <= cap {
@@ -74,12 +79,15 @@ pub fn count_bad_patterns(m: usize, min_nonzero: u64, min_sum: u64, total: u64) 
 /// `Σ_{j≤K} C(m, j) · C(total, j)` (choose the nonzero positions, then the
 /// values by stars-and-bars majorization). Loose but union-bound-friendly.
 pub fn pattern_count_bound(m: usize, min_nonzero: u64, total: u64) -> f64 {
+    #[allow(clippy::cast_possible_truncation)]
     // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
     let k = (total / min_nonzero.max(1)) as usize;
     let mut bound = 0.0f64;
     for j in 0..=k.min(m) {
+        #[allow(clippy::cast_possible_truncation)]
         // sor-check: allow(lossy-cast) — widening conversion cannot truncate on supported targets
-        bound += binom_f64(m, j) * binom_f64(total as usize, j);
+        let t = total as usize;
+        bound += binom_f64(m, j) * binom_f64(t, j);
     }
     bound.max(1.0)
 }

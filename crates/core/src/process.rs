@@ -115,6 +115,7 @@ pub fn deletion_process_detailed(
     // Index: draws crossing each edge.
     let mut crossing: Vec<Vec<u32>> = vec![Vec::new(); g.num_edges()];
     let mut loads = EdgeLoads::for_graph(g);
+    #[allow(clippy::cast_possible_truncation)]
     for (i, d) in draws.iter().enumerate() {
         for &e in d.path.edges() {
             // sor-check: allow(lossy-cast) — draw count < u32::MAX by construction
@@ -244,30 +245,32 @@ pub fn weak_to_strong(
         let mut kept: Vec<(NodeId, NodeId, f64)> = Vec::new();
         let mut routed_any = false;
         for &(s, t, d) in remaining.entries() {
+            // A pair without flags was never sampled; it simply carries
+            // to the next round like any non-competitive pair.
             let flags = alive_of.get(&(s, t));
-            let (alive, total) = flags
-                .map(|f| (f.iter().filter(|&&a| a).count(), f.len()))
-                .unwrap_or((0, 0));
-            if total > 0 && alive * 4 >= total {
-                // route this pair fully over its surviving draws
-                let per_draw = d / alive as f64;
-                // sor-check: allow(unwrap) — invariant stated in the expect message
-                let flags = flags.expect("checked");
-                let (_, draws) = sampled
+            let draws = flags.and_then(|_| {
+                sampled
                     .raw
                     .iter()
                     .find(|(pair, _)| *pair == (s, t))
-                    // sor-check: allow(unwrap) — invariant stated in the expect message
-                    .expect("pair was sampled");
-                for (p, &ok) in draws.iter().zip(flags) {
-                    if ok {
-                        loads.add_path(p, per_draw);
+                    .map(|(_, draws)| draws)
+            });
+            let alive = flags.map(|f| f.iter().filter(|&&a| a).count()).unwrap_or(0);
+            let total = flags.map(Vec::len).unwrap_or(0);
+            if let (Some(flags), Some(draws)) = (flags, draws) {
+                if total > 0 && alive * 4 >= total {
+                    // route this pair fully over its surviving draws
+                    let per_draw = d / alive as f64;
+                    for (p, &ok) in draws.iter().zip(flags) {
+                        if ok {
+                            loads.add_path(p, per_draw);
+                        }
                     }
+                    routed_any = true;
+                    continue;
                 }
-                routed_any = true;
-            } else {
-                kept.push((s, t, d));
             }
+            kept.push((s, t, d));
         }
         if !routed_any {
             return None;

@@ -65,6 +65,7 @@ pub fn sample_k_plus_cut<O: ObliviousRouting, R: Rng + ?Sized>(
     let with_counts: Vec<((NodeId, NodeId), usize)> = pairs
         .iter()
         .map(|&(s, t)| {
+            #[allow(clippy::cast_possible_truncation)]
             // sor-check: allow(lossy-cast) — ceil of a small non-negative cut value
             let cut = st_min_cut(g, s, t).ceil() as usize;
             ((s, t), k + cut)
@@ -138,7 +139,7 @@ fn validate_sample(g: &Graph, sampled: &SampledSystem) {
     }
     let max_draws = sampled.raw.iter().map(|(_, v)| v.len()).max();
     if let Err(msg) = sampled.system.validate_detailed(g, max_draws) {
-        // sor-check: allow(unwrap) — validator failure means a sampler bug, not recoverable state
+        // sor-check: allow(unwrap, panic-path) — validator failure means a sampler bug, not recoverable state
         panic!("sampled path system violates its invariants: {msg}");
     }
 }

@@ -34,9 +34,9 @@ proptest! {
         let base = KspRouting::new(g.clone(), 3);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x99);
         let dm = Demand::from_pairs([
-            (NodeId(0), NodeId((n - 1) as u32)),
-            (NodeId(1), NodeId((n - 2) as u32)),
-            (NodeId(2), NodeId((n - 3) as u32)),
+            (NodeId(0), NodeId::from_usize(n - 1)),
+            (NodeId(1), NodeId::from_usize(n - 2)),
+            (NodeId(2), NodeId::from_usize(n - 3)),
         ]);
         let sampled = sample_k(&base, &demand_pairs(&dm), k, &mut rng);
         let tau = 0.8; // low threshold so failures occur regularly
@@ -106,7 +106,7 @@ proptest! {
     fn sparsity_monotone(seed in 0u64..150, n in 6usize..11) {
         let g = arb_graph(n, seed);
         let base = KspRouting::new(g.clone(), 4);
-        let dm = Demand::from_pairs([(NodeId(0), NodeId((n - 1) as u32))]);
+        let dm = Demand::from_pairs([(NodeId(0), NodeId::from_usize(n - 1))]);
         let pairs = demand_pairs(&dm);
         let sys_small = sample_k(&base, &pairs, 2, &mut StdRng::seed_from_u64(seed)).system;
         let sys_large = sample_k(&base, &pairs, 6, &mut StdRng::seed_from_u64(seed)).system;
@@ -182,6 +182,7 @@ proptest! {
         let system = sample_k(&base, &pairs, 2, &mut rng).system;
         let mut text = system_to_text(&system).into_bytes();
         if !text.is_empty() {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let pos = ((pos_frac * text.len() as f64) as usize).min(text.len() - 1);
             text[pos] = byte;
         }

@@ -12,7 +12,7 @@
 use crate::demand::Demand;
 use crate::loads::EdgeLoads;
 use sor_graph::{dijkstra, Graph, NodeId, Path};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Result of the OPT-congestion computation for a demand.
 #[derive(Clone, Debug)]
@@ -49,22 +49,63 @@ impl OptResult {
     }
 }
 
+/// Why a flow computation could not produce a routing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowError {
+    /// A demand pair has positive demand but no path between its
+    /// endpoints.
+    Disconnected {
+        /// Source of the unroutable pair.
+        s: NodeId,
+        /// Target of the unroutable pair.
+        t: NodeId,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Disconnected { s, t } => {
+                write!(f, "demand pair {s}→{t} disconnected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
 /// Compute a `(1+O(ε))`-approximate min-congestion fractional routing of
 /// `demand` in `g` (Fleischer's max-concurrent-flow FPTAS, reinterpreted:
 /// min congestion = 1 / max concurrent throughput).
 ///
-/// Panics if some demand pair is disconnected in `g`.
+/// Panics if some demand pair is disconnected in `g`; use
+/// [`try_max_concurrent_flow`] to get the failure as a value instead.
 pub fn max_concurrent_flow(g: &Graph, demand: &Demand, eps: f64) -> OptResult {
+    match try_max_concurrent_flow(g, demand, eps) {
+        Ok(r) => r,
+        // sor-check: allow(unwrap, panic-path) — panicking facade over the Result API; contract in the doc comment
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`max_concurrent_flow`]: a disconnected demand pair
+/// is reported as [`FlowError::Disconnected`] instead of a panic, so
+/// solver pipelines can surface it as a `Result`.
+pub fn try_max_concurrent_flow(
+    g: &Graph,
+    demand: &Demand,
+    eps: f64,
+) -> Result<OptResult, FlowError> {
     assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
     let m = g.num_edges();
     let entries = demand.entries();
     if entries.is_empty() || m == 0 {
-        return OptResult {
+        return Ok(OptResult {
             congestion_upper: 0.0,
             congestion_lower: 0.0,
             loads: EdgeLoads::zeros(m),
             paths: Vec::new(),
-        };
+        });
     }
 
     let delta = (m as f64 / (1.0 - eps)).powf(-1.0 / eps);
@@ -86,10 +127,9 @@ pub fn max_concurrent_flow(g: &Graph, demand: &Demand, eps: f64) -> OptResult {
             let mut remaining = d;
             while remaining > 1e-15 {
                 let tree = dijkstra(g, s, &len);
-                let path = tree
-                    .path_to(g, t)
-                    // sor-check: allow(unwrap) — documented failure mode: demand pair disconnected
-                    .unwrap_or_else(|| panic!("demand pair {s}→{t} disconnected"));
+                let Some(path) = tree.path_to(g, t) else {
+                    return Err(FlowError::Disconnected { s, t });
+                };
                 let bottleneck = path
                     .edges()
                     .iter()
@@ -120,8 +160,9 @@ pub fn max_concurrent_flow(g: &Graph, demand: &Demand, eps: f64) -> OptResult {
     // Dual bound: for any positive lengths ℓ,
     //   OPT_cong ≥ (Σ_j d_j · dist_ℓ(s_j, t_j)) / (Σ_e c_e ℓ_e).
     // Group commodities by source so each distinct source costs one
-    // Dijkstra.
-    let mut by_source: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
+    // Dijkstra. Ordered map: α is a float sum, so the iteration order
+    // below must not depend on the hasher.
+    let mut by_source: BTreeMap<NodeId, Vec<(NodeId, f64)>> = BTreeMap::new();
     for &(s, t, d) in entries {
         by_source.entry(s).or_default().push((t, d));
     }
@@ -139,12 +180,12 @@ pub fn max_concurrent_flow(g: &Graph, demand: &Demand, eps: f64) -> OptResult {
         .map(|((j, p), a)| (j, p, a * scale))
         .collect();
 
-    OptResult {
+    Ok(OptResult {
         congestion_upper,
         congestion_lower,
         loads,
         paths,
-    }
+    })
 }
 
 /// Convenience wrapper returning just the congestion sandwich
@@ -207,7 +248,7 @@ pub fn max_concurrent_flow_grouped(g: &Graph, demand: &Demand, eps: f64) -> OptR
                     }
                     let path = tree
                         .path_to(g, *t)
-                        // sor-check: allow(unwrap) — documented failure mode: demand pair disconnected
+                        // sor-check: allow(unwrap, panic-path) — documented contract panic; the fallible reference solver is try_max_concurrent_flow
                         .unwrap_or_else(|| panic!("demand pair {s}→{t} disconnected"));
                     let bottleneck = path
                         .edges()

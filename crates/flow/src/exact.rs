@@ -20,6 +20,7 @@ pub fn exact_integral_restricted(g: &Graph, entries: &[RestrictedEntry<'_>]) -> 
     for e in entries {
         let d = e.demand.round();
         assert!((e.demand - d).abs() < 1e-9, "integral demands required");
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         // sor-check: allow(lossy-cast) — integrality and range asserted above
         for _ in 0..d as u64 {
             assert!(!e.paths.is_empty(), "entry with demand but no paths");
@@ -83,7 +84,7 @@ pub fn all_simple_paths(g: &Graph, s: NodeId, t: NodeId) -> Vec<Path> {
         out: &mut Vec<Path>,
     ) {
         if cur == t {
-            // sor-check: allow(unwrap) — invariant stated in the expect message
+            // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
             let p = Path::from_edges(g, s, edge_stack.clone()).expect("DFS builds valid paths");
             out.push(p);
             return;

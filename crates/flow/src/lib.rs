@@ -35,6 +35,8 @@
 //! assert!(opt.congestion_lower <= opt.congestion_upper + 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod concurrent;
 pub mod demand;
 pub mod exact;
@@ -44,7 +46,10 @@ pub mod restricted;
 pub mod rounding;
 pub mod validate;
 
-pub use concurrent::{max_concurrent_flow, max_concurrent_flow_grouped, opt_congestion, OptResult};
+pub use concurrent::{
+    max_concurrent_flow, max_concurrent_flow_grouped, opt_congestion, try_max_concurrent_flow,
+    FlowError, OptResult,
+};
 pub use demand::Demand;
 pub use io::{demand_from_text, demand_to_text};
 pub use loads::EdgeLoads;

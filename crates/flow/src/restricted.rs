@@ -92,16 +92,18 @@ pub fn restricted_min_congestion(
             let entry = &entries[j];
             let mut remaining = entry.demand;
             while remaining > 1e-15 {
-                // cheapest candidate under current lengths
-                let (best, _) = entry
-                    .paths
-                    .iter()
-                    .enumerate()
-                    .map(|(i, p)| (i, p.length(&len)))
-                    // sor-check: allow(unwrap) — invariant stated in the expect message
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN length"))
-                    // sor-check: allow(unwrap) — invariant stated in the expect message
-                    .expect("nonempty candidates");
+                // cheapest candidate under current lengths (total_cmp
+                // keeps this well-defined even for NaN lengths, and the
+                // nonempty-candidates assert above makes `best` valid)
+                let mut best = 0usize;
+                let mut best_len = f64::INFINITY;
+                for (i, p) in entry.paths.iter().enumerate() {
+                    let l = p.length(&len);
+                    if l.total_cmp(&best_len).is_lt() {
+                        best = i;
+                        best_len = l;
+                    }
+                }
                 let path = &entry.paths[best];
                 let bottleneck = path
                     .edges()
@@ -157,7 +159,7 @@ pub fn restricted_min_congestion(
     };
     if crate::validate::validators_enabled() {
         if let Err(msg) = crate::validate::check_restricted(g, entries, &sol) {
-            // sor-check: allow(unwrap) — validator failure means a solver bug, not recoverable state
+            // sor-check: allow(unwrap, panic-path) — validator failure means a solver bug, not recoverable state
             panic!("restricted_min_congestion produced an invalid solution: {msg}");
         }
     }

@@ -59,6 +59,7 @@ pub fn round_and_improve<R: Rng>(
             "integral rounding needs an integral demand, got {}",
             entry.demand
         );
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         // sor-check: allow(lossy-cast) — integrality and range asserted above
         let units = d as u32;
         let mut c = vec![0u32; entry.paths.len()];
@@ -127,7 +128,7 @@ pub fn round_and_improve<R: Rng>(
     };
     if crate::validate::validators_enabled() {
         if let Err(msg) = crate::validate::check_integral(g, entries, &sol) {
-            // sor-check: allow(unwrap) — validator failure means a solver bug, not recoverable state
+            // sor-check: allow(unwrap, panic-path) — validator failure means a solver bug, not recoverable state
             panic!("round_and_improve produced an invalid assignment: {msg}");
         }
     }

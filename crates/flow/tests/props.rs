@@ -27,7 +27,7 @@ proptest! {
     fn mwu_brackets_exact_single_pair(seed in 0u64..300, n in 5usize..12, d in 0.5f64..4.0) {
         let g = arb_graph(n, seed);
         let s = NodeId(0);
-        let t = NodeId((n - 1) as u32);
+        let t = NodeId::from_usize(n - 1);
         let truth = exact_single_pair_fractional(&g, s, t, d);
         let dm = Demand::from_triples([(s, t, d)]);
         let r = max_concurrent_flow(&g, &dm, 0.08);
@@ -65,7 +65,7 @@ proptest! {
     fn restriction_monotone(seed in 0u64..200, n in 5usize..9) {
         let g = arb_graph(n, seed);
         let s = NodeId(0);
-        let t = NodeId((n - 1) as u32);
+        let t = NodeId::from_usize(n - 1);
         let dm = Demand::from_pairs([(s, t)]);
         let eps = 0.08;
         let free = max_concurrent_flow(&g, &dm, eps);
@@ -87,7 +87,7 @@ proptest! {
     fn rounding_envelope(seed in 0u64..200, n in 6usize..11, units in 1u32..5) {
         let g = arb_graph(n, seed);
         let s = NodeId(0);
-        let t = NodeId((n - 1) as u32);
+        let t = NodeId::from_usize(n - 1);
         let paths = yen_ksp(&g, s, t, 3, &g.unit_lengths());
         let entries = [RestrictedEntry {
             s,
@@ -143,7 +143,7 @@ proptest! {
     fn mwu_close_to_exact_restricted(seed in 0u64..150, n in 5usize..9, units in 1u32..4) {
         let g = arb_graph(n, seed);
         let s = NodeId(0);
-        let t = NodeId((n - 1) as u32);
+        let t = NodeId::from_usize(n - 1);
         let paths = yen_ksp(&g, s, t, 2, &g.unit_lengths());
         let entries = [RestrictedEntry {
             s,

@@ -23,8 +23,7 @@ pub fn stoer_wagner(g: &Graph) -> (f64, Vec<NodeId>) {
         w[e.v.index()][e.u.index()] += e.cap;
     }
     // `members[v]` = original vertices merged into supervertex v.
-    // sor-check: allow(lossy-cast) — node count < u32::MAX per Graph::new
-    let mut members: Vec<Vec<u32>> = (0..n as u32).map(|v| vec![v]).collect();
+    let mut members: Vec<Vec<u32>> = (0..n).map(|v| vec![NodeId::from_usize(v).0]).collect();
     let mut active: Vec<usize> = (0..n).collect();
     let mut best = (f64::INFINITY, Vec::new());
 

@@ -27,7 +27,7 @@ impl NodeId {
     /// `lossy-cast` lint violation under `sor-check`).
     #[inline]
     pub fn from_usize(idx: usize) -> NodeId {
-        // sor-check: allow(unwrap) — expect carries the offending index
+        // sor-check: allow(unwrap, panic-path) — checked-constructor contract: overflow past u32 ids is unrecoverable
         NodeId(idx.try_into().expect("node index exceeds u32 range"))
     }
 }
@@ -44,7 +44,7 @@ impl EdgeId {
     /// [`NodeId::from_usize`].
     #[inline]
     pub fn from_usize(idx: usize) -> EdgeId {
-        // sor-check: allow(unwrap) — expect carries the offending index
+        // sor-check: allow(unwrap, panic-path) — checked-constructor contract: overflow past u32 ids is unrecoverable
         EdgeId(idx.try_into().expect("edge index exceeds u32 range"))
     }
 }
@@ -132,8 +132,7 @@ impl Graph {
 
     /// Iterator over all vertex ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        // sor-check: allow(lossy-cast) — n < u32::MAX asserted in `new`
-        (0..self.n as u32).map(NodeId)
+        (0..self.n).map(NodeId::from_usize)
     }
 
     /// Iterator over all edge ids.

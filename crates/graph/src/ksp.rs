@@ -35,8 +35,8 @@ pub fn yen_ksp(g: &Graph, s: NodeId, t: NodeId, k: usize, lengths: &[f64]) -> Ve
     accepted.push(first);
 
     while accepted.len() < k {
-        // sor-check: allow(unwrap) — invariant stated in the expect message
-        let prev = accepted.last().expect("nonempty").clone();
+        // `accepted` starts with `first` and only grows
+        let prev = accepted[accepted.len() - 1].clone();
         // Spur from each vertex of the previous path except the target.
         for i in 0..prev.hops() {
             let spur_node = prev.nodes()[i];
@@ -63,9 +63,11 @@ pub fn yen_ksp(g: &Graph, s: NodeId, t: NodeId, k: usize, lengths: &[f64]) -> Ve
             if spur_path.length(&banned).is_infinite() {
                 continue; // only reachable through banned edges
             }
-            let root = Path::from_edges(g, s, root_edges.to_vec())
-                // sor-check: allow(unwrap) — invariant stated in the expect message
-                .expect("prefix of a valid path is valid");
+            // A prefix of an accepted path is always valid; skipping the
+            // spur is a safe fallback if that ever stopped holding.
+            let Some(root) = Path::from_edges(g, s, root_edges.to_vec()) else {
+                continue;
+            };
             let Some(total) = root.join_simplified(&spur_path) else {
                 continue;
             };
@@ -84,15 +86,14 @@ pub fn yen_ksp(g: &Graph, s: NodeId, t: NodeId, k: usize, lengths: &[f64]) -> Ve
         if candidates.is_empty() {
             break;
         }
-        // Pop the shortest candidate.
-        let best = candidates
-            .iter()
-            .enumerate()
-            // sor-check: allow(unwrap) — invariant stated in the expect message
-            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("NaN length"))
-            .map(|(i, _)| i)
-            // sor-check: allow(unwrap) — invariant stated in the expect message
-            .expect("nonempty");
+        // Pop the shortest candidate (total order via total_cmp keeps
+        // this panic-free even for NaN lengths; nonempty checked above).
+        let mut best = 0usize;
+        for (i, (l, _)) in candidates.iter().enumerate() {
+            if l.total_cmp(&candidates[best].0).is_lt() {
+                best = i;
+            }
+        }
         let (_, path) = candidates.swap_remove(best);
         accepted.push(path);
     }

@@ -42,6 +42,8 @@
 //! assert!(paths.iter().all(|p| p.hops() == 3));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod connectivity;
 pub mod gen;
 pub mod globalcut;

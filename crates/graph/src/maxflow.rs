@@ -4,7 +4,7 @@
 //! 6.2): the number of sampled paths between a pair must scale with the
 //! pair's minimum cut for arbitrary-demand guarantees.
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{EdgeId, Graph, NodeId};
 use std::collections::VecDeque;
 
 const EPS: f64 = 1e-9;
@@ -32,10 +32,10 @@ impl Dinic {
         // c+f "backward", which is exactly undirected residual capacity.
         for e in g.edges() {
             let (u, v, c) = (e.u.index(), e.v.index(), e.cap);
-            // sor-check: allow(lossy-cast) — arc count ≤ 2·edges < u32::MAX
-            let iu = arcs[u].len() as u32;
-            // sor-check: allow(lossy-cast) — arc count ≤ 2·edges < u32::MAX
-            let iv = arcs[v].len() as u32;
+            // Arc counts are bounded by 2·edges < u32::MAX (checked by
+            // EdgeId::from_usize at edge insertion).
+            let iu = EdgeId::from_usize(arcs[u].len()).0;
+            let iv = EdgeId::from_usize(arcs[v].len()).0;
             arcs[u].push(Arc {
                 to: e.v.0,
                 cap: c,

@@ -84,8 +84,9 @@ impl Path {
     /// Last vertex.
     #[inline]
     pub fn target(&self) -> NodeId {
-        // sor-check: allow(unwrap) — invariant stated in the expect message
-        *self.nodes.last().expect("paths are nonempty")
+        // `nodes` is nonempty by construction: every constructor rejects
+        // the empty sequence, so this index mirrors `source()`.
+        self.nodes[self.nodes.len() - 1]
     }
 
     /// Number of edges (the paper's `hop(P)`; dilation is the max over a
@@ -219,7 +220,7 @@ mod tests {
     fn path_graph(n: usize) -> Graph {
         let mut g = Graph::new(n);
         for i in 0..n - 1 {
-            g.add_unit_edge(NodeId(i as u32), NodeId(i as u32 + 1));
+            g.add_unit_edge(NodeId::from_usize(i), NodeId::from_usize(i + 1));
         }
         g
     }

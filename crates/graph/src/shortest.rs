@@ -28,12 +28,11 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap; distances are finite non-NaN by construction.
+        // Reverse for min-heap; distances are finite non-NaN by
+        // construction, and total_cmp keeps the order total regardless.
         other
             .dist
-            .partial_cmp(&self.dist)
-            // sor-check: allow(unwrap) — invariant stated in the expect message
-            .expect("NaN distance in Dijkstra heap")
+            .total_cmp(&self.dist)
             .then_with(|| other.node.0.cmp(&self.node.0))
     }
 }

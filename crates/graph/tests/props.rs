@@ -47,7 +47,7 @@ proptest! {
     fn maxflow_degree_bound_and_symmetry(seed in 0u64..400, n in 5usize..12) {
         let g = arb_graph(n, seed);
         let s = NodeId(0);
-        let t = NodeId((n - 1) as u32);
+        let t = NodeId::from_usize(n - 1);
         let f = max_flow(&g, s, t);
         prop_assert!(f <= g.cap_degree(s) + 1e-6);
         prop_assert!(f <= g.cap_degree(t) + 1e-6);
@@ -89,8 +89,8 @@ proptest! {
     fn yen_first_is_shortest(seed in 0u64..300, n in 5usize..12, k in 1usize..5) {
         let g = arb_graph(n, seed);
         let len = g.unit_lengths();
-        let s = NodeId(1 % n as u32);
-        let t = NodeId((n - 1) as u32);
+        let s = NodeId::from_usize(1 % n);
+        let t = NodeId::from_usize(n - 1);
         if s == t { return Ok(()); }
         let ps = yen_ksp(&g, s, t, k, &len);
         let d = dijkstra(&g, s, &len).dist[t.index()];

@@ -38,6 +38,8 @@
 //! assert!(dist_dilation(&dist) <= r.hop_cap(NodeId(0), NodeId(15)));
 //! ```
 
+#![forbid(unsafe_code)]
+
 use parking_lot::Mutex;
 use rand::Rng;
 use sor_graph::traversal::all_pairs_hops;

@@ -17,7 +17,7 @@
 use crate::routing::{ObliviousRouting, PathDist};
 use parking_lot::Mutex;
 use sor_graph::{EdgeId, Graph, NodeId, Path};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Sparse symmetric Laplacian of a capacitated graph, with a CG solver.
 #[derive(Clone, Debug)]
@@ -34,7 +34,10 @@ impl Laplacian {
     /// Build from a graph with conductances = capacities.
     pub fn of(g: &Graph) -> Self {
         let n = g.num_nodes();
-        let mut weight: HashMap<(u32, u32), f64> = HashMap::new();
+        // Ordered map: the row build below fixes each row's summand
+        // order, which float-rounds through the CG solve — hash order
+        // would make electrical flows differ per process.
+        let mut weight: BTreeMap<(u32, u32), f64> = BTreeMap::new();
         for e in g.edges() {
             let key = (e.u.0.min(e.v.0), e.u.0.max(e.v.0));
             *weight.entry(key).or_insert(0.0) += e.cap;
@@ -172,7 +175,7 @@ pub fn decompose_flow(g: &Graph, s: NodeId, t: NodeId, mut flow: Vec<f64>) -> Pa
                 node = rec.u;
             }
         }
-        // sor-check: allow(unwrap) — invariant stated in the expect message
+        // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
         let path = Path::from_edges(g, s, edges).expect("walk is simple by construction");
         dist.push((path, amount));
         total += amount;

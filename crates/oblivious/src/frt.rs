@@ -94,8 +94,10 @@ impl FrtTree {
         let beta: f64 = 1.0 + rng.gen::<f64>();
 
         // Top level: β·2^top ≥ dmax so everything fits in one cluster.
+        #[allow(clippy::cast_possible_truncation)]
         let top = dmax.log2().ceil() as i32 + 1;
         // Bottom level: β·2^bottom < dmin forces singletons.
+        #[allow(clippy::cast_possible_truncation)]
         let bottom = (dmin.log2().floor() as i32) - 2;
 
         let mut nodes: Vec<TreeNode> = Vec::new();
@@ -131,7 +133,7 @@ impl FrtTree {
                         .iter()
                         .copied()
                         .find(|u| dist[u.index()][v.index()] <= radius)
-                        // sor-check: allow(unwrap) — invariant stated in the expect message
+                        // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
                         .expect("v itself qualifies at any level once radius ≥ 0");
                     match groups.iter_mut().find(|(c, _)| *c == center) {
                         Some((_, vs)) => vs.push(v),
@@ -150,7 +152,7 @@ impl FrtTree {
                     let leader = if vs.contains(&center) {
                         center
                     } else {
-                        // sor-check: allow(unwrap) — invariant stated in the expect message
+                        // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
                         *pi.iter().find(|u| vs.contains(u)).expect("nonempty group")
                     };
                     let singleton = vs.len() == 1;
@@ -214,7 +216,7 @@ impl FrtTree {
                 let cl = nodes[c].leader;
                 let path = tree
                     .path_to(g, cl)
-                    // sor-check: allow(unwrap) — invariant stated in the expect message
+                    // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
                     .expect("connected graph")
                     .reversed();
                 nodes[c].up_path = Some(path);
@@ -246,7 +248,7 @@ impl FrtTree {
         let mut path = Path::trivial(s);
         for i in up_chain {
             if let Some(up) = &self.nodes[i].up_path {
-                // sor-check: allow(unwrap) — invariant stated in the expect message
+                // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
                 path = path.join_simplified(up).expect("chained at leader");
             }
         }
@@ -254,7 +256,7 @@ impl FrtTree {
             if let Some(up) = &self.nodes[i].up_path {
                 path = path
                     .join_simplified(&up.reversed())
-                    // sor-check: allow(unwrap) — invariant stated in the expect message
+                    // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
                     .expect("chained at leader");
             }
         }

@@ -16,7 +16,7 @@ use crate::routing::{ObliviousRouting, PathDist};
 use parking_lot::Mutex;
 use rand::Rng;
 use sor_graph::{dijkstra, Graph, NodeId, Path};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One cluster of a spectral hierarchy.
 #[derive(Clone, Debug)]
@@ -231,8 +231,9 @@ impl SpectralHierarchy {
             }
         }
 
-        // physical up-paths: one Dijkstra per parent leader
-        let mut children_of: HashMap<usize, Vec<usize>> = HashMap::new();
+        // physical up-paths: one Dijkstra per parent leader (ordered map
+        // so the construction order never depends on the hasher)
+        let mut children_of: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, c) in clusters.iter().enumerate() {
             if let Some(p) = c.parent {
                 children_of.entry(p).or_default().push(i);
@@ -259,15 +260,17 @@ impl SpectralHierarchy {
         if s == t {
             return Path::trivial(s);
         }
-        let mut sa = vec![self.leaf_of[s.index()]];
-        // sor-check: allow(unwrap) — invariant stated in the expect message
-        while let Some(p) = self.clusters[*sa.last().expect("nonempty")].parent {
+        let mut cur = self.leaf_of[s.index()];
+        let mut sa = vec![cur];
+        while let Some(p) = self.clusters[cur].parent {
             sa.push(p);
+            cur = p;
         }
-        let mut ta = vec![self.leaf_of[t.index()]];
-        // sor-check: allow(unwrap) — invariant stated in the expect message
-        while let Some(p) = self.clusters[*ta.last().expect("nonempty")].parent {
+        let mut cur = self.leaf_of[t.index()];
+        let mut ta = vec![cur];
+        while let Some(p) = self.clusters[cur].parent {
             ta.push(p);
+            cur = p;
         }
         let (mut a, mut b) = (sa.len(), ta.len());
         while a > 0 && b > 0 && sa[a - 1] == ta[b - 1] {
@@ -277,7 +280,7 @@ impl SpectralHierarchy {
         let mut path = Path::trivial(s);
         for &i in &sa[..a] {
             if let Some(up) = &self.clusters[i].up_path {
-                // sor-check: allow(unwrap) — invariant stated in the expect message
+                // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
                 path = path.join_simplified(up).expect("chained at leader");
             }
         }
@@ -285,7 +288,7 @@ impl SpectralHierarchy {
             if let Some(up) = &self.clusters[i].up_path {
                 path = path
                     .join_simplified(&up.reversed())
-                    // sor-check: allow(unwrap) — invariant stated in the expect message
+                    // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
                     .expect("chained at leader");
             }
         }
@@ -387,6 +390,7 @@ impl ObliviousRouting for HierRouting {
         for h in &self.hierarchies {
             *merged.entry(h.route(s, t)).or_insert(0.0) += w;
         }
+        // sor-check: allow(hash-order) — merged weights are order-independent and the vec is sorted just below
         let mut dist: PathDist = merged.into_iter().collect();
         dist.sort_by(|a, b| {
             a.0.nodes()

@@ -117,6 +117,7 @@ impl ObliviousRouting for RaeckeRouting {
         for tree in &self.trees {
             *merged.entry(tree.route(s, t)).or_insert(0.0) += w;
         }
+        // sor-check: allow(hash-order) — merged weights are order-independent and the vec is sorted just below
         let mut dist: PathDist = merged.into_iter().collect();
         dist.sort_by(|a, b| {
             a.0.nodes()

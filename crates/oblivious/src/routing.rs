@@ -49,8 +49,9 @@ pub fn sample_from_dist<R: Rng + ?Sized>(dist: &PathDist, rng: &mut R) -> Path {
         }
         x -= w;
     }
-    // sor-check: allow(unwrap) — invariant stated in the expect message
-    dist.last().expect("nonempty").0.clone()
+    // float residue can land `x` past the final bucket; clamp to it
+    // (the assert above guarantees the index is valid)
+    dist[dist.len() - 1].0.clone()
 }
 
 /// Expected per-edge loads when `demand` is routed fractionally by the

@@ -35,13 +35,13 @@ fn bitfix_nodes(a: u32, b: u32, d: usize) -> Vec<NodeId> {
 /// Build the `s → w → t` Valiant path, shortcutting any revisits so the
 /// result is simple.
 fn valiant_path(g: &Graph, d: usize, s: u32, w: u32, t: u32) -> Path {
-    // sor-check: allow(unwrap) — invariant stated in the expect message
+    // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
     let first = Path::from_nodes(g, &bitfix_nodes(s, w, d)).expect("bitfix walks are simple");
-    // sor-check: allow(unwrap) — invariant stated in the expect message
+    // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
     let second = Path::from_nodes(g, &bitfix_nodes(w, t, d)).expect("bitfix walks are simple");
     first
         .join_simplified(&second)
-        // sor-check: allow(unwrap) — invariant stated in the expect message
+        // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
         .expect("segments share the intermediate")
 }
 
@@ -80,13 +80,14 @@ impl ObliviousRouting for ValiantHypercube {
     /// each with weight `2^{−d}`. Duplicate paths are merged.
     fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
         assert!(s != t);
-        let n = self.g.num_nodes() as u32;
+        let n = NodeId::from_usize(self.g.num_nodes()).0;
         let w_each = 1.0 / n as f64;
         let mut merged: std::collections::HashMap<Path, f64> = std::collections::HashMap::new();
         for w in 0..n {
             let p = valiant_path(&self.g, self.d, s.0, w, t.0);
             *merged.entry(p).or_insert(0.0) += w_each;
         }
+        // sor-check: allow(hash-order) — merged weights are order-independent and the vec is sorted just below
         let mut dist: PathDist = merged.into_iter().collect();
         // Deterministic order for reproducibility.
         dist.sort_by(|a, b| {
@@ -100,7 +101,7 @@ impl ObliviousRouting for ValiantHypercube {
 
     fn sample_path<R: Rng + ?Sized>(&self, s: NodeId, t: NodeId, rng: &mut R) -> Path {
         assert!(s != t);
-        let w = rng.gen_range(0..self.g.num_nodes() as u32);
+        let w = rng.gen_range(0..NodeId::from_usize(self.g.num_nodes()).0);
         valiant_path(&self.g, self.d, s.0, w, t.0)
     }
 
@@ -134,7 +135,7 @@ impl ObliviousRouting for GreedyBitFix {
     fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
         assert!(s != t);
         let p = Path::from_nodes(&self.g, &bitfix_nodes(s.0, t.0, self.d))
-            // sor-check: allow(unwrap) — invariant stated in the expect message
+            // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
             .expect("bitfix walks are simple");
         vec![(p, 1.0)]
     }

@@ -56,7 +56,7 @@ proptest! {
     fn ksp_routing_valid(seed in 0u64..200, n in 5usize..12, k in 1usize..5) {
         let g = arb_graph(n, seed);
         let r = KspRouting::new(g, k);
-        check_routing(&r, NodeId(0), NodeId((n - 1) as u32))?;
+        check_routing(&r, NodeId(0), NodeId::from_usize(n - 1))?;
     }
 
     #[test]
@@ -64,7 +64,7 @@ proptest! {
         let g = arb_graph(n, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x1);
         let r = RaeckeRouting::build(g, trees, &mut rng);
-        check_routing(&r, NodeId(0), NodeId((n - 1) as u32))?;
+        check_routing(&r, NodeId(0), NodeId::from_usize(n - 1))?;
         check_routing(&r, NodeId(1), NodeId(2))?;
     }
 
@@ -72,14 +72,14 @@ proptest! {
     fn electrical_routing_valid(seed in 0u64..150, n in 5usize..11) {
         let g = arb_graph(n, seed);
         let r = ElectricalRouting::new(g);
-        check_routing(&r, NodeId(0), NodeId((n - 1) as u32))?;
+        check_routing(&r, NodeId(0), NodeId::from_usize(n - 1))?;
     }
 
     #[test]
     fn random_walk_routing_valid(seed in 0u64..150, n in 5usize..10) {
         let g = arb_graph(n, seed);
         let r = RandomWalkRouting::new(g, 8, seed);
-        check_routing(&r, NodeId(0), NodeId((n - 1) as u32))?;
+        check_routing(&r, NodeId(0), NodeId::from_usize(n - 1))?;
     }
 }
 

@@ -25,6 +25,8 @@
 //! assert_eq!(r.lower_bound(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod sim;
 
 pub use sim::{

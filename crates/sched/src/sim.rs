@@ -62,11 +62,15 @@ impl SimResult {
 impl SimResult {
     /// `max(⌈C⌉, D)` — no schedule can beat this.
     pub fn lower_bound(&self) -> u64 {
-        (self.congestion.ceil() as u64).max(self.dilation)
+        // ceil of a non-negative congestion; the value is far below u64::MAX
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let c = self.congestion.ceil() as u64;
+        c.max(self.dilation)
     }
 }
 
 /// Per-step per-direction transmission budget of an edge.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 fn edge_budget(g: &Graph, e: sor_graph::EdgeId) -> u64 {
     (g.cap(e).floor() as u64).max(1)
 }
@@ -176,6 +180,7 @@ pub fn try_simulate_released(
         None => start_time,
     };
     let max_start = start_time.iter().copied().max().unwrap_or(0);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let safety = (congestion.ceil() as u64 + 1) * (dilation + 1) + max_start + 16;
 
     let mut pos: Vec<usize> = vec![0; n_packets];
@@ -194,6 +199,7 @@ pub fn try_simulate_released(
             ));
         }
         wanting.clear();
+        #[allow(clippy::cast_possible_truncation)]
         for (i, p) in routes.iter().enumerate() {
             if pos[i] < p.hops() && start_time[i] <= t {
                 let e = p.edges()[pos[i]];
@@ -202,6 +208,7 @@ pub fn try_simulate_released(
             }
         }
         for (&(e, _), packets) in wanting.iter_mut() {
+            #[allow(clippy::cast_possible_truncation)]
             let budget = edge_budget(g, sor_graph::EdgeId(e)) as usize;
             max_queue = max_queue.max(packets.len().saturating_sub(budget));
             if packets.len() > budget {
@@ -420,6 +427,8 @@ mod tests {
             },
         );
         assert!(r.makespan >= r.lower_bound());
-        assert!(r.makespan <= r.congestion as u64 + r.dilation + 6 + 2);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let c = r.congestion as u64;
+        assert!(r.makespan <= c + r.dilation + 6 + 2);
     }
 }

@@ -71,7 +71,7 @@ pub fn failure_experiment(
         for _ in 0..100 {
             let mut f = Vec::new();
             while f.len() < num_failures {
-                let e = EdgeId(rng.gen_range(0..g.num_edges() as u32));
+                let e = EdgeId(rng.gen_range(0..EdgeId::from_usize(g.num_edges()).0));
                 if !f.contains(&e) {
                     f.push(e);
                 }

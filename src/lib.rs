@@ -14,6 +14,8 @@
 //! * [`te`] — SMORE-style traffic engineering harness ([`sor_te`]),
 //! * [`cli`] — graph/demand spec parsing for the `sor` binary.
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 
 pub use sor_core as core;

@@ -28,7 +28,7 @@ proptest! {
     fn ksp_paths_valid_distinct_sorted(seed in 0u64..500, n in 6usize..14, k in 1usize..6) {
         let g = arb_graph(n, seed);
         let s = NodeId(0);
-        let t = NodeId((n - 1) as u32);
+        let t = NodeId::from_usize(n - 1);
         let len = g.unit_lengths();
         let paths = yen_ksp(&g, s, t, k, &len);
         prop_assert!(!paths.is_empty());
@@ -51,7 +51,7 @@ proptest! {
         let g = arb_graph(n, seed);
         let base = KspRouting::new(g.clone(), 4);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
-        let pairs = vec![(NodeId(0), NodeId((n - 1) as u32)), (NodeId(1), NodeId(2))];
+        let pairs = vec![(NodeId(0), NodeId::from_usize(n - 1)), (NodeId(1), NodeId(2))];
         let sampled = sample_k(&base, &pairs, k, &mut rng);
         prop_assert!(sampled.system.sparsity() <= k);
         prop_assert!(sampled.system.validate(&g));
@@ -69,7 +69,7 @@ proptest! {
         let g = arb_graph(n, seed);
         let base = KspRouting::new(g.clone(), 6);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
-        let dm = Demand::from_pairs([(NodeId(0), NodeId((n - 1) as u32))]);
+        let dm = Demand::from_pairs([(NodeId(0), NodeId::from_usize(n - 1))]);
         let pairs = demand_pairs(&dm);
         let a = sample_k(&base, &pairs, 2, &mut rng).system;
         let b = sample_k(&base, &pairs, 2, &mut rng).system;
@@ -90,8 +90,8 @@ proptest! {
         let base = KspRouting::new(g.clone(), 3);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x1111);
         let dm = Demand::from_pairs([
-            (NodeId(0), NodeId((n - 1) as u32)),
-            (NodeId(1), NodeId((n - 2) as u32)),
+            (NodeId(0), NodeId::from_usize(n - 1)),
+            (NodeId(1), NodeId::from_usize(n - 2)),
         ]);
         let sampled = sample_k(&base, &demand_pairs(&dm), 3, &mut rng);
         let out = deletion_process(&g, &sampled, &dm, tau);
@@ -147,7 +147,7 @@ proptest! {
     #[test]
     fn loads_arithmetic(seed in 0u64..200, n in 6usize..12, w in 0.1f64..5.0) {
         let g = arb_graph(n, seed);
-        let p = semi_oblivious_routing::graph::bfs_path(&g, NodeId(0), NodeId((n - 1) as u32)).unwrap();
+        let p = semi_oblivious_routing::graph::bfs_path(&g, NodeId(0), NodeId::from_usize(n - 1)).unwrap();
         let mut l = EdgeLoads::for_graph(&g);
         l.add_path(&p, w);
         prop_assert!((l.total() - w * p.hops() as f64).abs() < 1e-9);
@@ -161,7 +161,7 @@ proptest! {
         let g = arb_graph(n, seed);
         let base = KspRouting::new(g.clone(), 4);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x3333);
-        let pairs = vec![(NodeId(0), NodeId((n - 1) as u32))];
+        let pairs = vec![(NodeId(0), NodeId::from_usize(n - 1))];
         let system = sample_k(&base, &pairs, 4, &mut rng).system;
         let dead = semi_oblivious_routing::graph::EdgeId(0);
         let filtered = system.without_edges(&[dead]);

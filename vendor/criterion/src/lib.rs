@@ -5,6 +5,8 @@
 //! is to keep `cargo bench` / `--all-targets` builds working offline while
 //! preserving the upstream API shape.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Entry point handed to benchmark functions.

@@ -4,6 +4,8 @@
 //! lock is recovered with `into_inner`, matching `parking_lot`'s
 //! no-poisoning semantics.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-free `lock()`.

@@ -13,6 +13,8 @@
 //! * **Range strategies only** (`lo..hi`, `lo..=hi` over the primitive
 //!   numeric types) — the only strategies this workspace uses.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -10,6 +10,8 @@
 //! per seed, which is the property the workspace's experiments and tests
 //! rely on.
 
+#![forbid(unsafe_code)]
+
 pub mod rngs;
 pub mod seq;
 

@@ -6,6 +6,8 @@
 //! registry is reachable, deleting this crate and restoring the `rayon`
 //! workspace dependency re-enables parallelism with no source changes.
 
+#![forbid(unsafe_code)]
+
 pub mod prelude {
     /// `into_par_iter()` — sequential fallback over any `IntoIterator`.
     pub trait IntoParallelIterator: IntoIterator + Sized {
