@@ -28,4 +28,10 @@ echo "==> cargo test -q (tier-1) and workspace tests"
 cargo test -q
 cargo test -q --workspace
 
+echo "==> instrumented smoke experiment (BENCH_*.json artifact)"
+mkdir -p target/obs
+cargo run -q --release -p sor-bench --bin tables -- \
+  --exp e1 --quick --metrics-dir target/obs > /dev/null
+test -s target/obs/BENCH_e1.json
+
 echo "CI OK"

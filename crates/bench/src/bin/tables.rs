@@ -1,13 +1,18 @@
 //! Regenerate the paper's results as tables.
 //!
 //! ```text
-//! tables [--exp e1|e2|…|e18|all] [--quick] [--plot]
+//! tables [--exp e1|e2|…|e18|all] [--quick] [--plot] [--metrics-dir DIR]
 //! ```
 //!
 //! `--quick` shrinks instances for a fast smoke run; the default is the
 //! paper-scale configuration recorded in EXPERIMENTS.md.
+//!
+//! `--metrics-dir DIR` turns metric/span capture on and writes one
+//! `BENCH_<experiment>.json` snapshot (counters, histograms, per-phase
+//! timings) per experiment into `DIR`, next to the printed tables.
 
 use std::env;
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -19,6 +24,18 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
         .unwrap_or("all");
+    let metrics_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--metrics-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if let Some(dir) = &metrics_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create metrics dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        sor_obs::set_enabled(true);
+    }
 
     let show = |table: &sor_bench::Table| {
         println!("{table}");
@@ -30,13 +47,36 @@ fn main() {
             }
         }
     };
+    // Run one experiment, bracketed by a metrics reset/snapshot so each
+    // BENCH_<id>.json contains exactly that experiment's counters and
+    // phase tree.
+    let run = |id: &str| -> Option<sor_bench::Table> {
+        sor_obs::reset();
+        let table = {
+            let _span = sor_obs::span("bench/experiment");
+            sor_bench::run_one(id, quick)?
+        };
+        if let Some(dir) = &metrics_dir {
+            let snap = sor_obs::snapshot();
+            let json = snap.to_json_with_meta(&[
+                ("experiment", id),
+                ("quick", if quick { "true" } else { "false" }),
+            ]);
+            let path = dir.join(format!("BENCH_{id}.json"));
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        Some(table)
+    };
     if exp == "all" {
         for id in sor_bench::IDS {
-            let table = sor_bench::run_one(id, quick).expect("known id");
+            let table = run(id).expect("known id");
             show(&table);
         }
     } else {
-        match sor_bench::run_one(exp, quick) {
+        match run(exp) {
             Some(table) => show(&table),
             None => {
                 eprintln!(

@@ -146,7 +146,7 @@ pub fn e15_scheduling(quick: bool) -> Table {
         t.row(vec![
             name.to_string(),
             r.makespan.to_string(),
-            f(r.mean_latency()),
+            f(r.mean_latency().unwrap_or(0.0)),
             r.lower_bound().to_string(),
         ]);
     }
@@ -285,7 +285,7 @@ pub fn e17_packet_level(quick: bool) -> Table {
         "adapted rates (semi-oblivious)".into(),
         burst.to_string(),
         sim_a.makespan.to_string(),
-        f(sim_a.mean_latency()),
+        f(sim_a.mean_latency().unwrap_or(0.0)),
         sim_a.lower_bound().to_string(),
     ]);
 
@@ -302,7 +302,7 @@ pub fn e17_packet_level(quick: bool) -> Table {
         "single shortest path".into(),
         burst.to_string(),
         sim_b.makespan.to_string(),
-        f(sim_b.mean_latency()),
+        f(sim_b.mean_latency().unwrap_or(0.0)),
         sim_b.lower_bound().to_string(),
     ]);
     t.note(format!(

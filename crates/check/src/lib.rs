@@ -149,7 +149,7 @@ pub struct FileClass {
 
 /// The library crates (everything algorithmic; the bench harness and
 /// binaries are driver code and may panic on broken input).
-const LIB_CRATES: [&str; 8] = [
+const LIB_CRATES: [&str; 9] = [
     "graph",
     "flow",
     "oblivious",
@@ -158,6 +158,7 @@ const LIB_CRATES: [&str; 8] = [
     "sched",
     "te",
     "check",
+    "obs",
 ];
 
 /// Crates where congestion/capacity/rate arithmetic lives and lossy `as`

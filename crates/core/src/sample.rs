@@ -91,13 +91,17 @@ pub fn sample_k_distinct<O: ObliviousRouting, R: Rng + ?Sized>(
     let mut raw = Vec::new();
     for &(s, t) in pairs {
         assert!(s != t, "self-pair in sample request");
+        let _pair_span = sor_obs::span("sample/pair");
         let mut draws = Vec::new();
         let mut attempts = 0;
         while system.paths(s, t).len() < k && attempts < 50 * k {
             attempts += 1;
             let p = routing.sample_path(s, t, rng);
+            sor_obs::counter_add!("core/sample/draws");
             if system.insert(s, t, p.clone()) {
                 draws.push(p);
+            } else {
+                sor_obs::counter_add!("core/sample/duplicates");
             }
         }
         raw.push(((s, t), draws));
@@ -117,10 +121,15 @@ fn sample_counts<O: ObliviousRouting, R: Rng + ?Sized>(
     let mut raw = Vec::new();
     for ((s, t), count) in pairs {
         assert!(s != t, "self-pair in sample request");
+        let _pair_span = sor_obs::span("sample/pair");
         let mut draws = Vec::with_capacity(count);
         for _ in 0..count {
             let p = routing.sample_path(s, t, rng);
-            system.insert(s, t, p.clone());
+            sor_obs::counter_add!("core/sample/draws");
+            sor_obs::observe_into!("core/path/hops", &sor_obs::POW2_BUCKETS, p.hops() as f64);
+            if !system.insert(s, t, p.clone()) {
+                sor_obs::counter_add!("core/sample/duplicates");
+            }
             draws.push(p);
         }
         raw.push(((s, t), draws));

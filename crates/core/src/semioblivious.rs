@@ -68,6 +68,8 @@ impl SemiObliviousRouting {
     /// (check [`SemiObliviousRouting::covers`] first when that can
     /// happen, e.g. after failures).
     pub fn route_fractional(&self, demand: &Demand, eps: f64) -> RestrictedSolution {
+        let _span = sor_obs::span("core/route_fractional");
+        sor_obs::counter_add!("core/route/requests");
         restricted_min_congestion(&self.g, &self.entries(demand), eps)
     }
 
@@ -89,6 +91,8 @@ impl SemiObliviousRouting {
             demand.is_integral(),
             "integral routing needs integral demand"
         );
+        let _span = sor_obs::span("core/route_integral");
+        sor_obs::counter_add!("core/route/requests");
         let entries = self.entries(demand);
         let frac = restricted_min_congestion(&self.g, &entries, eps);
         round_and_improve(&self.g, &entries, &frac.weights, 30, rng)

@@ -97,6 +97,7 @@ pub fn try_max_concurrent_flow(
     eps: f64,
 ) -> Result<OptResult, FlowError> {
     assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    let _span = sor_obs::span("flow/opt");
     let m = g.num_edges();
     let entries = demand.entries();
     if entries.is_empty() || m == 0 {
@@ -122,10 +123,12 @@ pub fn try_max_concurrent_flow(
 
     while volume < 1.0 {
         phases += 1;
+        sor_obs::counter_add!("flow/mwu/phases");
         assert!(phases <= MAX_PHASES, "concurrent-flow phase bound exceeded");
         for (j, &(s, t, d)) in entries.iter().enumerate() {
             let mut remaining = d;
             while remaining > 1e-15 {
+                sor_obs::counter_add!("flow/mwu/oracle_calls");
                 let tree = dijkstra(g, s, &len);
                 let Some(path) = tree.path_to(g, t) else {
                     return Err(FlowError::Disconnected { s, t });
@@ -168,6 +171,7 @@ pub fn try_max_concurrent_flow(
     }
     let mut alpha = 0.0;
     for (&s, targets) in &by_source {
+        sor_obs::counter_add!("flow/mwu/oracle_calls");
         let tree = dijkstra(g, s, &len);
         for &(t, d) in targets {
             alpha += d * tree.dist[t.index()];
@@ -205,6 +209,7 @@ pub fn opt_congestion(g: &Graph, demand: &Demand) -> OptResult {
 /// benchmarked.
 pub fn max_concurrent_flow_grouped(g: &Graph, demand: &Demand, eps: f64) -> OptResult {
     assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    let _span = sor_obs::span("flow/opt_grouped");
     let m = g.num_edges();
     let entries = demand.entries();
     if entries.is_empty() || m == 0 {
@@ -236,11 +241,13 @@ pub fn max_concurrent_flow_grouped(g: &Graph, demand: &Demand, eps: f64) -> OptR
 
     while volume < 1.0 {
         phases += 1;
+        sor_obs::counter_add!("flow/mwu/phases");
         assert!(phases <= MAX_PHASES, "grouped-flow phase bound exceeded");
         for (s, commodities) in &by_source {
             let mut remaining: Vec<f64> = commodities.iter().map(|&(_, _, d)| d).collect();
             while remaining.iter().any(|&r| r > 1e-15) {
                 // one Dijkstra serves every commodity of this source
+                sor_obs::counter_add!("flow/mwu/oracle_calls");
                 let tree = dijkstra(g, *s, &len);
                 for ((j, t, _), rem) in commodities.iter().zip(remaining.iter_mut()) {
                     if *rem <= 1e-15 {

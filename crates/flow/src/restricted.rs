@@ -48,6 +48,7 @@ pub fn restricted_min_congestion(
     eps: f64,
 ) -> RestrictedSolution {
     assert!(eps > 0.0 && eps < 1.0);
+    let _span = sor_obs::span("mwu/restricted");
     let m = g.num_edges();
     let active: Vec<usize> = entries
         .iter()
@@ -87,11 +88,13 @@ pub fn restricted_min_congestion(
 
     while volume < 1.0 {
         phases += 1;
+        sor_obs::counter_add!("flow/restricted/phases");
         assert!(phases <= MAX_PHASES, "restricted-flow phase bound exceeded");
         for &j in &active {
             let entry = &entries[j];
             let mut remaining = entry.demand;
             while remaining > 1e-15 {
+                sor_obs::counter_add!("flow/restricted/oracle_scans");
                 // cheapest candidate under current lengths (total_cmp
                 // keeps this well-defined even for NaN lengths, and the
                 // nonempty-candidates assert above makes `best` valid)

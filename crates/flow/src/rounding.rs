@@ -48,6 +48,7 @@ pub fn round_and_improve<R: Rng>(
     rng: &mut R,
 ) -> IntegralSolution {
     assert_eq!(entries.len(), weights.len());
+    let _span = sor_obs::span("flow/round");
     let mut counts: Vec<Vec<u32>> = Vec::with_capacity(entries.len());
     let mut loads = EdgeLoads::for_graph(g);
 
@@ -84,7 +85,12 @@ pub fn round_and_improve<R: Rng>(
     }
 
     // --- local search ---
+    let mut passes = 0usize;
+    let mut moves = 0u64;
+    let mut converged = false;
     for _pass in 0..max_passes {
+        passes += 1;
+        sor_obs::counter_add!("flow/rounding/passes");
         let mut improved = false;
         for (j, entry) in entries.iter().enumerate() {
             if entry.paths.len() < 2 {
@@ -111,13 +117,24 @@ pub fn round_and_improve<R: Rng>(
                     counts[j][to] += 1;
                     loads.add_path(&entry.paths[from], -1.0);
                     loads.add_path(&entry.paths[to], 1.0);
+                    moves += 1;
+                    sor_obs::counter_add!("flow/rounding/moves");
                     improved = true;
                 }
             }
         }
         if !improved {
+            converged = true;
             break;
         }
+    }
+    if max_passes > 0 && !converged {
+        sor_obs::warn!(
+            "local search stopped at the {max_passes}-pass budget without converging \
+             ({moves} moves so far); congestion may be improvable"
+        );
+    } else {
+        sor_obs::debug!("local search converged after {passes} passes ({moves} moves)");
     }
 
     let congestion = loads.congestion(g);

@@ -10,11 +10,16 @@
 
 use crate::graph::{Graph, NodeId};
 
-fn build(n: usize, edges: &[(u32, u32, f64)]) -> Graph {
+fn build(name: &str, n: usize, edges: &[(u32, u32, f64)]) -> Graph {
     let mut g = Graph::new(n);
     for &(u, v, c) in edges {
         g.add_edge(NodeId(u), NodeId(v), c);
     }
+    let total_cap: f64 = g.edges().iter().map(|e| e.cap).sum();
+    sor_obs::debug!(
+        "built WAN topology {name}: {n} nodes, {} links, total capacity {total_cap}",
+        g.num_edges()
+    );
     g
 }
 
@@ -25,6 +30,7 @@ fn build(n: usize, edges: &[(u32, u32, f64)]) -> Graph {
 /// 10 New York.
 pub fn abilene() -> Graph {
     build(
+        "abilene",
         11,
         &[
             (0, 1, 1.0),  // Seattle–Sunnyvale
@@ -49,6 +55,7 @@ pub fn abilene() -> Graph {
 /// double capacity (stand-in for the real network's heterogeneous trunks).
 pub fn b4() -> Graph {
     build(
+        "b4",
         12,
         &[
             // North America cluster 0..5
@@ -81,6 +88,7 @@ pub fn b4() -> Graph {
 /// double capacity.
 pub fn geant() -> Graph {
     build(
+        "geant",
         22,
         &[
             // dense core ring 0..7 (double capacity)
@@ -135,6 +143,7 @@ pub fn geant() -> Graph {
 /// public).
 pub fn att() -> Graph {
     build(
+        "att",
         25,
         &[
             // west coast chain 0..4

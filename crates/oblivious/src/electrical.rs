@@ -89,6 +89,7 @@ impl Laplacian {
             if r_norm <= tol * b_norm {
                 break;
             }
+            sor_obs::counter_add!("oblivious/electrical/cg_iters");
             self.apply(&p, &mut ap);
             let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
             if pap.abs() < 1e-300 {

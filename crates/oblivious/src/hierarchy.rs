@@ -158,6 +158,8 @@ impl SpectralHierarchy {
     pub fn build<R: Rng + ?Sized>(g: &Graph, w: &[f64], rng: &mut R) -> Self {
         assert_eq!(w.len(), g.num_edges());
         assert!(w.iter().all(|&x| x > 0.0 && x.is_finite()));
+        let _span = sor_obs::span("hierarchy/spectral");
+        sor_obs::counter_add!("oblivious/hierarchy/builds");
         let n = g.num_nodes();
         let lengths: Vec<f64> = w.iter().map(|&x| 1.0 / x).collect();
         let mut clusters: Vec<Cluster> = Vec::new();

@@ -64,6 +64,7 @@ impl RaeckeRouting {
     /// Build with explicit tunables.
     pub fn build_config<R: Rng + ?Sized>(g: Graph, cfg: RaeckeConfig, rng: &mut R) -> Self {
         assert!(cfg.num_trees >= 1);
+        let _span = sor_obs::span("hierarchy/build");
         let m = g.num_edges();
         let eta = cfg.eta.unwrap_or_else(|| (1.0 + m as f64).ln());
         assert!(eta >= 0.0 && eta.is_finite(), "η must be nonnegative");
@@ -76,7 +77,11 @@ impl RaeckeRouting {
                 .zip(g.edges())
                 .map(|(&l, e)| (eta * l / max_load.max(1.0)).exp() / e.cap)
                 .collect();
-            let tree = FrtTree::build(&g, &lengths, rng);
+            let tree = {
+                let _tree_span = sor_obs::span("frt/tree");
+                sor_obs::counter_add!("oblivious/frt/trees");
+                FrtTree::build(&g, &lengths, rng)
+            };
             let rload = tree.relative_loads(&g);
             let rmax = rload.iter().copied().fold(0.0, f64::max).max(1e-300);
             for (acc, r) in load.iter_mut().zip(&rload) {
@@ -131,6 +136,7 @@ impl ObliviousRouting for RaeckeRouting {
 
     fn sample_path<R: Rng + ?Sized>(&self, s: NodeId, t: NodeId, rng: &mut R) -> Path {
         assert!(s != t);
+        sor_obs::counter_add!("oblivious/route_calls");
         let i = rng.gen_range(0..self.trees.len());
         self.trees[i].route(s, t)
     }

@@ -1,0 +1,212 @@
+//! Hand-rolled JSON serialization for [`crate::Snapshot`] — same
+//! no-serde discipline as `sor-check`'s SARIF writer.
+//!
+//! Output shape (all arrays name-sorted by construction, so two
+//! snapshots of the same run serialize identically):
+//!
+//! ```json
+//! {
+//!   "meta": { "experiment": "e1" },
+//!   "counters":   [ { "name": "flow/mwu/phases", "value": 42 } ],
+//!   "histograms": [ { "name": "core/path/hops", "count": 7, "sum": 21.0,
+//!                     "buckets": [ { "le": 1.0, "count": 0 },
+//!                                  { "le": null, "count": 0 } ] } ],
+//!   "spans":      [ { "path": ["sor/run", "hierarchy/build"],
+//!                     "calls": 1, "total_ns": 12345, "self_ns": 12000 } ]
+//! }
+//! ```
+//!
+//! `le: null` marks a histogram's overflow bucket; non-finite floats
+//! (which no metric should produce) serialize as `null` rather than
+//! emitting invalid JSON.
+
+use crate::Snapshot;
+use std::fmt::Write as _;
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's Display for f64 is shortest-roundtrip; ensure the
+        // token stays a JSON number (Display never emits exponents
+        // without a mantissa dot issue, and integers print bare).
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+pub(crate) fn snapshot_to_json(snap: &Snapshot, meta: &[(&str, &str)]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"meta\": {");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push(' ');
+        push_escaped(&mut out, k);
+        out.push_str(": ");
+        push_escaped(&mut out, v);
+    }
+    if !meta.is_empty() {
+        out.push(' ');
+    }
+    out.push_str("},\n  \"counters\": [");
+    for (i, c) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    { \"name\": ");
+        push_escaped(&mut out, &c.name);
+        let _ = write!(out, ", \"value\": {} }}", c.value);
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"histograms\": [");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    { \"name\": ");
+        push_escaped(&mut out, &h.name);
+        let _ = write!(out, ", \"count\": {}, \"sum\": ", h.count);
+        push_f64(&mut out, h.sum);
+        out.push_str(", \"buckets\": [");
+        for (j, b) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{ \"le\": ");
+            match b.le {
+                Some(le) => push_f64(&mut out, le),
+                None => out.push_str("null"),
+            }
+            let _ = write!(out, ", \"count\": {} }}", b.count);
+        }
+        out.push_str("] }");
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"spans\": [");
+    for (i, s) in snap.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    { \"path\": [");
+        for (j, seg) in s.path.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            push_escaped(&mut out, seg);
+        }
+        let _ = write!(
+            out,
+            "], \"calls\": {}, \"total_ns\": {}, \"self_ns\": {} }}",
+            s.calls, s.total_ns, s.self_ns
+        );
+    }
+    if !snap.spans.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BucketCount, CounterSnapshot, HistogramSnapshot, SpanSnapshot};
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![CounterSnapshot {
+                name: "a/b".to_string(),
+                value: 3,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "h \"q\"".to_string(),
+                buckets: vec![
+                    BucketCount {
+                        le: Some(1.5),
+                        count: 2,
+                    },
+                    BucketCount { le: None, count: 1 },
+                ],
+                count: 3,
+                sum: 4.25,
+            }],
+            spans: vec![SpanSnapshot {
+                path: vec!["sor/run".to_string(), "x".to_string()],
+                calls: 2,
+                total_ns: 10,
+                self_ns: 7,
+            }],
+        }
+    }
+
+    #[test]
+    fn serializes_all_sections_with_escaping() {
+        let text = snapshot_to_json(&sample(), &[("experiment", "e1"), ("quick", "true")]);
+        assert!(text.contains("\"experiment\": \"e1\""));
+        assert!(text.contains("\"name\": \"a/b\", \"value\": 3"));
+        assert!(text.contains("\"h \\\"q\\\"\""));
+        assert!(text.contains("{ \"le\": 1.5, \"count\": 2 }"));
+        assert!(text.contains("{ \"le\": null, \"count\": 1 }"));
+        assert!(text.contains("\"sum\": 4.25"));
+        assert!(text.contains("\"path\": [\"sor/run\", \"x\"], \"calls\": 2"));
+        // balanced braces/brackets — cheap structural sanity check
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces in:\n{text}"
+        );
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn empty_snapshot_serializes_cleanly() {
+        let empty = Snapshot {
+            counters: vec![],
+            histograms: vec![],
+            spans: vec![],
+        };
+        let text = snapshot_to_json(&empty, &[]);
+        assert!(text.contains("\"counters\": []"));
+        assert!(text.contains("\"histograms\": []"));
+        assert!(text.contains("\"spans\": []"));
+        assert!(text.contains("\"meta\": {}"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut s = sample();
+        s.histograms[0].sum = f64::NAN;
+        let text = snapshot_to_json(&s, &[]);
+        assert!(text.contains("\"sum\": null"));
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let mut out = String::new();
+        push_escaped(&mut out, "a\nb\u{1}c");
+        assert_eq!(out, "\"a\\nb\\u0001c\"");
+    }
+}

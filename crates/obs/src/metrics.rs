@@ -1,0 +1,423 @@
+//! The sharded metrics registry: monotonic counters and fixed-bucket
+//! histograms.
+//!
+//! Registration (name → cell) goes through one of `SHARDS` mutex-guarded
+//! maps picked by an FNV-1a hash of the metric name, so unrelated metrics
+//! never contend; after registration a counter is a single `AtomicU64`
+//! and a histogram is a row of them, both updatable from any thread
+//! without taking a lock. The hot-path macros in the crate root
+//! ([`crate::counter_add!`], [`crate::observe_into!`]) additionally cache
+//! the `Arc` handle per call site, so the steady-state cost of an
+//! increment is one relaxed atomic load (the [`crate::enabled`] guard)
+//! plus one atomic add.
+
+use crate::Snapshot;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Number of registry shards (power of two; metric names hash across
+/// them so registration of unrelated metrics never contends).
+const SHARDS: usize = 16;
+
+/// Power-of-two bucket edges for small nonnegative counts (hop lengths,
+/// queue depths): `≤1, ≤2, ≤4, …, ≤128`, plus the implicit overflow
+/// bucket.
+pub const POW2_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Geometric bucket edges around 1.0 for ratio-like values (per-edge
+/// load / congestion): `≤⅛ … ≤32`, plus the implicit overflow bucket.
+pub const RATIO_BUCKETS: [f64; 9] = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// A monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram: `bounds` are inclusive upper edges; one
+/// extra overflow bucket catches everything above the last edge. The sum
+/// is kept as `f64` bits in an atomic, updated by compare-exchange, so
+/// recording stays lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Record one observation. A value exactly on a bucket edge lands in
+    /// that bucket (edges are inclusive upper bounds); values above the
+    /// last edge land in the overflow bucket.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The inclusive upper edges this histogram was registered with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, aligned with [`Histogram::bounds`] plus one
+    /// overflow bucket at the end.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// One bucket of a [`HistogramSnapshot`]: the inclusive upper edge
+/// (`None` = overflow bucket) and the count that landed in it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BucketCount {
+    /// Inclusive upper edge; `None` for the overflow bucket.
+    pub le: Option<f64>,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// Snapshot of one counter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Snapshot of one histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Per-bucket edges and counts (overflow bucket last).
+    pub buckets: Vec<BucketCount>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<HashMap<&'static str, Arc<Counter>>>,
+    histograms: Mutex<HashMap<&'static str, Arc<Histogram>>>,
+}
+
+/// The process-wide sharded metrics store. Use [`registry`] for the
+/// global instance; a fresh instance is only useful in tests.
+pub struct MetricsRegistry {
+    shards: Vec<Shard>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+        }
+    }
+}
+
+/// FNV-1a over the metric name — stable across processes, so shard
+/// assignment (and with it any lock interleaving) is deterministic.
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    usize::try_from(h % (SHARDS as u64)).unwrap_or(0)
+}
+
+impl MetricsRegistry {
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let shard = &self.shards[shard_of(name)];
+        Arc::clone(
+            shard
+                .counters
+                .lock()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Get or register the histogram `name` with inclusive upper edges
+    /// `bounds` (used only at first registration).
+    pub fn histogram(&self, name: &'static str, bounds: &[f64]) -> Arc<Histogram> {
+        let shard = &self.shards[shard_of(name)];
+        Arc::clone(
+            shard
+                .histograms
+                .lock()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Zero every counter and histogram in place (handles stay valid).
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            for c in shard.counters.lock().values() {
+                c.reset();
+            }
+            for h in shard.histograms.lock().values() {
+                h.reset();
+            }
+        }
+    }
+
+    /// Name-sorted snapshot of every registered counter.
+    pub fn counter_snapshots(&self) -> Vec<CounterSnapshot> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (name, c) in shard.counters.lock().iter() {
+                out.push(CounterSnapshot {
+                    name: (*name).to_string(),
+                    value: c.get(),
+                });
+            }
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Name-sorted snapshot of every registered histogram.
+    pub fn histogram_snapshots(&self) -> Vec<HistogramSnapshot> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (name, h) in shard.histograms.lock().iter() {
+                let counts = h.bucket_counts();
+                let buckets = h
+                    .bounds()
+                    .iter()
+                    .map(|&b| Some(b))
+                    .chain(std::iter::once(None))
+                    .zip(counts)
+                    .map(|(le, count)| BucketCount { le, count })
+                    .collect();
+                out.push(HistogramSnapshot {
+                    name: (*name).to_string(),
+                    buckets,
+                    count: h.count(),
+                    sum: h.sum(),
+                });
+            }
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Full registry + span-tree snapshot (the export object of the
+    /// `--metrics-out` flag and the `BENCH_*.json` files).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counter_snapshots(),
+            histograms: self.histogram_snapshots(),
+            spans: crate::span::span_snapshots(),
+        }
+    }
+}
+
+/// The global registry.
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::default)
+}
+
+/// Get or register the global counter `name`. Registration is
+/// unconditional; prefer [`count`] / [`crate::counter_add!`] at
+/// recording sites so disabled runs register nothing.
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// Get or register the global histogram `name`.
+pub fn histogram(name: &'static str, bounds: &[f64]) -> Arc<Histogram> {
+    registry().histogram(name, bounds)
+}
+
+/// Add `n` to counter `name` if capture is enabled (registering it on
+/// first touch). For hot loops prefer [`crate::counter_add!`], which
+/// caches the handle per call site.
+#[inline]
+pub fn count(name: &'static str, n: u64) {
+    if crate::enabled() {
+        registry().counter(name).add(n);
+    }
+}
+
+/// [`count`] with a `usize` increment (saturating into `u64`).
+#[inline]
+pub fn count_usize(name: &'static str, n: usize) {
+    count(name, u64::try_from(n).unwrap_or(u64::MAX));
+}
+
+/// Record `v` into histogram `name` if capture is enabled, registering
+/// with `bounds` on first touch. For hot loops prefer
+/// [`crate::observe_into!`].
+#[inline]
+pub fn observe(name: &'static str, bounds: &[f64], v: f64) {
+    if crate::enabled() {
+        registry().histogram(name, bounds).observe(v);
+    }
+}
+
+/// Serialize access to the process-global capture switch and registry in
+/// unit tests (they run on a shared thread pool).
+#[cfg(test)]
+pub(crate) fn test_lock() -> parking_lot::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let r = MetricsRegistry::default();
+        let c = r.counter("metrics/test/counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // same name → same cell
+        assert_eq!(r.counter("metrics/test/counter").get(), 5);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(0.5); // ≤1
+        h.observe(1.0); // ≤1 (exactly on the edge)
+        h.observe(1.0000001); // ≤2
+        h.observe(2.0); // ≤2
+        h.observe(4.0); // ≤4
+        h.observe(100.0); // overflow
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - (0.5 + 1.0 + 1.0000001 + 2.0 + 4.0 + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_extreme_values() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(0.0);
+        h.observe(-3.0); // below every edge → first bucket
+        h.observe(f64::INFINITY); // overflow bucket
+        assert_eq!(h.bucket_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_and_complete() {
+        let r = MetricsRegistry::default();
+        r.counter("metrics/test/b").inc();
+        r.counter("metrics/test/a").add(2);
+        r.histogram("metrics/test/h", &[1.0]).observe(0.5);
+        let counters = r.counter_snapshots();
+        let names: Vec<&str> = counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["metrics/test/a", "metrics/test/b"]);
+        let histos = r.histogram_snapshots();
+        assert_eq!(histos.len(), 1);
+        assert_eq!(histos[0].buckets.len(), 2);
+        assert_eq!(histos[0].buckets[1].le, None);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place() {
+        let r = MetricsRegistry::default();
+        let c = r.counter("metrics/test/reset");
+        let h = r.histogram("metrics/test/reset_h", &[1.0]);
+        c.add(7);
+        h.observe(0.5);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        // cells survive the reset
+        c.inc();
+        assert_eq!(r.counter("metrics/test/reset").get(), 1);
+    }
+
+    #[test]
+    fn shard_of_is_stable() {
+        // the exact values don't matter; cross-process stability does
+        assert_eq!(shard_of("flow/mwu/phases"), shard_of("flow/mwu/phases"));
+        assert!(shard_of("a") < SHARDS);
+    }
+}

@@ -50,12 +50,14 @@ pub struct SimResult {
 }
 
 impl SimResult {
-    /// Mean packet latency.
-    pub fn mean_latency(&self) -> f64 {
+    /// Mean packet latency, or `None` when the run carried no packets
+    /// (a mean over zero packets has no meaningful value; callers that
+    /// want a number for a table row typically use `.unwrap_or(0.0)`).
+    pub fn mean_latency(&self) -> Option<f64> {
         if self.finish_times.is_empty() {
-            return 0.0;
+            return None;
         }
-        self.finish_times.iter().sum::<u64>() as f64 / self.finish_times.len() as f64
+        Some(self.finish_times.iter().sum::<u64>() as f64 / self.finish_times.len() as f64)
     }
 }
 
@@ -114,6 +116,7 @@ pub fn try_simulate_released(
     releases: Option<&[u64]>,
     policy: Policy,
 ) -> Result<SimResult, String> {
+    let _span = sor_obs::span("sched/simulate");
     let n_packets = routes.len();
     if let Some(r) = releases {
         if r.len() != n_packets {
@@ -210,7 +213,14 @@ pub fn try_simulate_released(
         for (&(e, _), packets) in wanting.iter_mut() {
             #[allow(clippy::cast_possible_truncation)]
             let budget = edge_budget(g, sor_graph::EdgeId(e)) as usize;
-            max_queue = max_queue.max(packets.len().saturating_sub(budget));
+            let deferred = packets.len().saturating_sub(budget);
+            max_queue = max_queue.max(deferred);
+            sor_obs::count_usize("sched/deferred", deferred);
+            sor_obs::observe_into!(
+                "sched/queue_depth",
+                &sor_obs::POW2_BUCKETS,
+                packets.len() as f64
+            );
             if packets.len() > budget {
                 if dynamic_longest {
                     // more hops left wins; ties by id for determinism
@@ -233,6 +243,7 @@ pub fn try_simulate_released(
                 }
             }
         }
+        sor_obs::counter_add!("sched/steps");
         t += 1;
     }
     Ok(SimResult {
@@ -395,7 +406,18 @@ mod tests {
         let p = bfs_path(&g, NodeId(0), NodeId(4)).unwrap();
         let r = simulate(&g, &[p.clone(), p], Policy::Fifo);
         assert_eq!(r.finish_times, vec![4, 5]);
-        assert!((r.mean_latency() - 4.5).abs() < 1e-12);
+        assert!((r.mean_latency().unwrap() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_latency_none_without_packets() {
+        let g = gen::path_graph(3);
+        let r = simulate(&g, &[], Policy::Fifo);
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.mean_latency(), None);
+        // zero-hop routes still count as (instantly finished) packets
+        let r0 = simulate(&g, &[sor_graph::Path::trivial(NodeId(1))], Policy::Fifo);
+        assert_eq!(r0.mean_latency(), Some(0.0));
     }
 
     #[test]

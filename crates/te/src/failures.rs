@@ -59,6 +59,8 @@ pub fn failure_experiment(
     seed: u64,
     eps: f64,
 ) -> Option<FailureResult> {
+    let _span = sor_obs::span("te/replay");
+    sor_obs::counter_add!("te/failure_experiments");
     let g = &scenario.graph;
     let mut rng = StdRng::seed_from_u64(seed);
     let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
@@ -79,7 +81,15 @@ pub fn failure_experiment(
             if connected_without(g, &f) {
                 break 'search f;
             }
+            sor_obs::debug!(
+                "failure set of {num_failures} edges disconnects {}; retrying",
+                scenario.name
+            );
         }
+        sor_obs::warn!(
+            "no connected {num_failures}-edge failure set found for {} in 100 attempts",
+            scenario.name
+        );
         return None;
     };
 
@@ -116,6 +126,13 @@ pub fn failure_experiment(
             sys.insert(a, b, orig);
             survived = SemiObliviousRouting::new(g.clone(), sys);
         }
+    }
+    if fallback_pairs > 0 {
+        sor_obs::warn!(
+            "{fallback_pairs} pair(s) lost every sampled candidate to the failure; \
+             emergency shortest-path fallback installed"
+        );
+        sor_obs::count_usize("te/fallback_pairs", fallback_pairs);
     }
     let semi_mlu = survived.congestion(demand, eps);
 

@@ -97,7 +97,14 @@ pub fn gravity_tm<R: Rng>(scenario: &Scenario, total: f64, rng: &mut R) -> Deman
         .iter()
         .map(|_| rng.gen_range(0.5..1.5))
         .collect();
-    demand::gravity(&scenario.endpoints, &masses, total)
+    let tm = demand::gravity(&scenario.endpoints, &masses, total);
+    sor_obs::debug!(
+        "gravity TM for {}: {} endpoints, {} pairs, {total} units",
+        scenario.name,
+        scenario.endpoints.len(),
+        tm.support_size()
+    );
+    tm
 }
 
 #[cfg(test)]

@@ -4,11 +4,17 @@
 //! sor info  --graph <spec> [--seed N]
 //! sor eval  --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]
 //! sor sweep --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]
+//! sor sim   --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]
 //! ```
 //!
 //! Graph specs: `hypercube:8`, `grid:5x5`, `expander:64x4`, `abilene`,
 //! `twostar:4x12`, … (see `semi_oblivious_routing::cli::parse_graph`).
 //! Demand specs: `perm`, `bitrev`, `gravity:4`, `pairs:10`.
+//!
+//! Observability flags (any subcommand): `--trace` prints the phase-tree
+//! wall-time report to stderr, `--metrics-out FILE` writes the full
+//! counter/histogram/span snapshot as JSON, `--quiet` silences the
+//! pipeline's diagnostic logging.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,11 +26,12 @@ use semi_oblivious_routing::graph::{
     articulation_points, bridges, diameter, global_min_cut, spectral_gap,
 };
 use semi_oblivious_routing::oblivious::RaeckeRouting;
+use semi_oblivious_routing::sched::{try_simulate, Policy};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  sor info    --graph <spec> [--seed N]\n  sor eval    --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor sweep   --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]\n  sor export  --graph <spec> [--s K] [--trees T] [--demand spec] [--seed N]\n  sor process --graph <spec> [--s K] [--tau T] [--demand spec] [--seed N]"
+        "usage:\n  sor info    --graph <spec> [--seed N]\n  sor eval    --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor sweep   --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]\n  sor sim     --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor export  --graph <spec> [--s K] [--trees T] [--demand spec] [--seed N]\n  sor process --graph <spec> [--s K] [--tau T] [--demand spec] [--seed N]\nobservability (any subcommand):\n  --trace             print the phase-tree timing report to stderr\n  --metrics-out FILE  write the metrics snapshot (counters/histograms/spans) as JSON\n  --quiet             silence diagnostic logging"
     );
     exit(2)
 }
@@ -43,11 +50,38 @@ fn or_die<T>(r: Result<T, String>) -> T {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--quiet") {
+        semi_oblivious_routing::obs::set_log_level(semi_oblivious_routing::obs::Level::Off);
+    }
+    let trace = args.iter().any(|a| a == "--trace");
+    let metrics_out = flag_value(&args, "--metrics-out").map(str::to_string);
+    if trace || metrics_out.is_some() {
+        semi_oblivious_routing::obs::set_enabled(true);
+    }
+    {
+        // Root span: everything the command does nests under `sor/run`,
+        // so the phase report accounts for the full command wall time.
+        let _root = semi_oblivious_routing::obs::span("sor/run");
+        run(&args);
+    }
+    if trace {
+        eprint!("{}", semi_oblivious_routing::obs::phase_report());
+    }
+    if let Some(path) = metrics_out {
+        let snap = semi_oblivious_routing::obs::snapshot();
+        if let Err(e) = std::fs::write(&path, snap.to_json()) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn run(args: &[String]) {
     let Some(cmd) = args.first().map(String::as_str) else {
         usage()
     };
-    let seed: u64 = or_die(flag_parse(&args, "--seed", 42));
-    let Some(gspec) = flag_value(&args, "--graph") else {
+    let seed: u64 = or_die(flag_parse(args, "--seed", 42));
+    let Some(gspec) = flag_value(args, "--graph") else {
         usage()
     };
     let g = or_die(parse_graph(gspec, seed));
@@ -68,9 +102,9 @@ fn main() {
         "export" => {
             // Build and print the installable artifact: topology + sampled
             // candidate path system, in the portable text format.
-            let trees: usize = or_die(flag_parse(&args, "--trees", 8));
-            let s: usize = or_die(flag_parse(&args, "--s", 4));
-            let dspec = flag_value(&args, "--demand").unwrap_or("perm");
+            let trees: usize = or_die(flag_parse(args, "--trees", 8));
+            let s: usize = or_die(flag_parse(args, "--s", 4));
+            let dspec = flag_value(args, "--demand").unwrap_or("perm");
             let demand = or_die(parse_demand(dspec, &g, seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
@@ -84,10 +118,10 @@ fn main() {
         "process" => {
             // Run the Main Lemma's deletion process once and print its
             // statistics (Section 5.3, live).
-            let s: usize = or_die(flag_parse(&args, "--s", 4));
-            let tau: f64 = or_die(flag_parse(&args, "--tau", 2.0));
-            let trees: usize = or_die(flag_parse(&args, "--trees", 8));
-            let dspec = flag_value(&args, "--demand").unwrap_or("perm");
+            let s: usize = or_die(flag_parse(args, "--s", 4));
+            let tau: f64 = or_die(flag_parse(args, "--tau", 2.0));
+            let trees: usize = or_die(flag_parse(args, "--trees", 8));
+            let dspec = flag_value(args, "--demand").unwrap_or("perm");
             let demand = or_die(parse_demand(dspec, &g, seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
@@ -109,10 +143,54 @@ fn main() {
             println!("  overcongested edges : {}", out.overcongested.len());
             println!("  weak success (>=half): {}", out.weak_success());
         }
+        "sim" => {
+            // End-to-end packet run: sample a semi-oblivious system, route
+            // an integral demand over it, and push the unit packets through
+            // the store-and-forward scheduler. Exercises every pipeline
+            // stage, so it is also the smoke test for `--metrics-out`.
+            let s: usize = or_die(flag_parse(args, "--s", 4));
+            let trees: usize = or_die(flag_parse(args, "--trees", 8));
+            let eps: f64 = or_die(flag_parse(args, "--eps", 0.15));
+            let dspec = flag_value(args, "--demand").unwrap_or("perm");
+            let demand = or_die(parse_demand(dspec, &g, seed));
+            if !demand.is_integral() {
+                or_die::<()>(Err(format!(
+                    "sim needs an integral demand; `{dspec}` is fractional \
+                     (use perm, bitrev, or pairs:N)"
+                )));
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
+            let sampled = sample_k(&base, &demand_pairs(&demand), s, &mut rng);
+            let sor = SemiObliviousRouting::new(g.clone(), sampled.system);
+            let integral = sor.route_integral(&demand, eps, &mut rng);
+            // one unit packet per routed demand unit
+            let mut routes = Vec::new();
+            for (j, &(a, b, _)) in demand.entries().iter().enumerate() {
+                let paths = sor.system().paths(a, b);
+                for (i, &c) in integral.counts[j].iter().enumerate() {
+                    for _ in 0..c {
+                        routes.push(paths[i].clone());
+                    }
+                }
+            }
+            let res = or_die(try_simulate(&g, &routes, Policy::Fifo));
+            println!(
+                "sim on {gspec} | demand {dspec} ({} pairs) | s = {s}, trees = {trees}",
+                demand.support_size()
+            );
+            println!("  packets       : {}", routes.len());
+            println!("  makespan      : {}", res.makespan);
+            println!("  lower bound   : {} (max(⌈C⌉, D))", res.lower_bound());
+            println!("  congestion    : {:.3}", res.congestion);
+            println!("  dilation      : {}", res.dilation);
+            println!("  mean latency  : {:.3}", res.mean_latency().unwrap_or(0.0));
+            println!("  max queue     : {}", res.max_queue);
+        }
         "eval" | "sweep" => {
-            let eps: f64 = or_die(flag_parse(&args, "--eps", 0.15));
-            let trees: usize = or_die(flag_parse(&args, "--trees", 8));
-            let dspec = flag_value(&args, "--demand").unwrap_or("perm");
+            let eps: f64 = or_die(flag_parse(args, "--eps", 0.15));
+            let trees: usize = or_die(flag_parse(args, "--trees", 8));
+            let dspec = flag_value(args, "--demand").unwrap_or("perm");
             let demand = or_die(parse_demand(dspec, &g, seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
@@ -125,9 +203,9 @@ fn main() {
                 opt.congestion_upper
             );
             let svals: Vec<usize> = if cmd == "eval" {
-                vec![or_die(flag_parse(&args, "--s", 4))]
+                vec![or_die(flag_parse(args, "--s", 4))]
             } else {
-                let max_s: usize = or_die(flag_parse(&args, "--max-s", 8));
+                let max_s: usize = or_die(flag_parse(args, "--max-s", 8));
                 (1..=max_s).collect()
             };
             println!("{:>3} {:>12} {:>10}", "s", "congestion", "ratio");

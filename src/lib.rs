@@ -8,6 +8,7 @@
 //! * [`flow`] — demands and multicommodity-flow solvers ([`sor_flow`]),
 //! * [`oblivious`] — oblivious routing schemes ([`sor_oblivious`]),
 //! * [`hop`] — hop-constrained oblivious routing ([`sor_hop`]),
+//! * [`obs`] — spans, metrics, and leveled logging ([`sor_obs`]),
 //! * [`core`] — the paper's contribution: sparse semi-oblivious routing
 //!   ([`sor_core`]),
 //! * [`sched`] — packet scheduling / completion time ([`sor_sched`]),
@@ -23,5 +24,6 @@ pub use sor_flow as flow;
 pub use sor_graph as graph;
 pub use sor_hop as hop;
 pub use sor_oblivious as oblivious;
+pub use sor_obs as obs;
 pub use sor_sched as sched;
 pub use sor_te as te;
