@@ -34,4 +34,13 @@ cargo run -q --release -p sor-bench --bin tables -- \
   --exp e1 --quick --metrics-dir target/obs > /dev/null
 test -s target/obs/BENCH_e1.json
 
+echo "==> perf gate (work + quality vs BENCH_BASELINE.json; wall excluded = noise-proof)"
+mkdir -p target/perf
+cargo run -q --release -p sor-bench --bin perf -- \
+  --quick --gate --no-wall \
+  --report-json target/perf/perf-report.json \
+  --report-md target/perf/perf-report.md \
+  --trajectory BENCH_TRAJECTORY.jsonl
+cp BENCH_TRAJECTORY.jsonl target/perf/ 2>/dev/null || true
+
 echo "CI OK"

@@ -18,6 +18,7 @@ pub mod e_extra;
 pub mod e_lower;
 pub mod e_te;
 pub mod e_upper;
+pub mod perf;
 pub mod plot;
 pub mod table;
 

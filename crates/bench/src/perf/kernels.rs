@@ -1,0 +1,544 @@
+//! The fixed benchmark workloads behind the perf suite.
+//!
+//! Every kernel is **seeded and size-fixed** — `--quick` never reaches
+//! in here — so the counters and quality values each one produces are
+//! identical run to run and can gate exactly against the committed
+//! baseline. The kernels double as the library's API surface exercise:
+//! between them they drive the analysis entry points (deletion-process
+//! forensics, pattern counting, exact/integral evaluation, the two-star
+//! adversary, TE scheme comparisons, spectral/electrical machinery) that
+//! the experiment tables don't reach, which is what keeps those APIs out
+//! of the dead-api baseline.
+
+use super::{rng_for, table_quality};
+use sor_core::completion::{CompletionResult, CompletionRouting};
+use sor_core::eval::{
+    enumerate_matching_demands, evaluate_vs_opt, DemandEval, EvalReport, IntegralEval,
+};
+use sor_core::lowerbound::{adversarial_demand_chain, AdversaryResult};
+use sor_core::negassoc::{correlation, joint_tail, union_bound};
+use sor_core::patterns::{count_bad_patterns, is_bad_pattern, pattern_count_bound, pattern_of_run};
+use sor_core::process::{
+    deletion_process_detailed, surviving_routing, weak_to_strong, ProcessOutcome,
+};
+use sor_core::sample::{demand_pairs, sample_k, sample_k_distinct, SampledSystem};
+use sor_core::special::is_special;
+use sor_core::{PathSystem, SemiObliviousRouting};
+use sor_flow::concurrent::{
+    max_concurrent_flow_grouped, try_max_concurrent_flow, FlowError, OptResult,
+};
+use sor_flow::demand::{hotspot_tm, random_permutation, zipf_demand};
+use sor_flow::exact::{all_simple_paths, exact_integral_restricted, exact_single_pair_fractional};
+use sor_flow::restricted::RestrictedEntry;
+use sor_flow::validate::TOLERANCE;
+use sor_flow::Demand;
+use sor_graph::gen::fattree::clos_spine;
+use sor_graph::gen::random::random_geometric;
+use sor_graph::globalcut::stoer_wagner;
+use sor_graph::shortest::{dijkstra, shortest_path, ShortestPathTree};
+use sor_graph::spectral::{is_expander, lambda2};
+use sor_graph::traversal::{bfs_dists, bfs_parents, UNREACHABLE};
+use sor_graph::{gen, EdgeRec, Graph, NodeId};
+use sor_hop::{dist_dilation, HopFamily};
+use sor_oblivious::electrical::{decompose_flow, Laplacian};
+use sor_oblivious::frt::TreeNode;
+use sor_oblivious::hierarchy::SpectralHierarchy;
+use sor_oblivious::routing::{sample_from_dist, ObliviousRouting};
+use sor_oblivious::{
+    ElectricalRouting, FrtTree, KspRouting, RaeckeConfig, RaeckeRouting, ValiantHypercube,
+};
+use sor_sched::sim::{try_simulate_released, SimResult};
+use sor_sched::Policy;
+use sor_te::{
+    churn_experiment, failure_experiment, gravity_tm, online_simulation, run_scheme, ChurnResult,
+    FailureResult, OnlineStep, Scenario, Scheme, SchemeResult,
+};
+
+type Quality = Vec<(String, f64)>;
+
+fn q(name: &str, v: f64) -> (String, f64) {
+    (name.to_string(), v)
+}
+
+fn b01(flag: bool) -> f64 {
+    if flag {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn macro_table(id: &str) -> Quality {
+    let _span = sor_obs::span("perf/macro");
+    let table = crate::run_one(id, true).expect("known experiment id");
+    table_quality(&table)
+}
+
+/// E1 quick — competitive ratio vs `s = O(log n)` across graph families.
+pub fn macro_e1() -> Quality {
+    macro_table("e1")
+}
+
+/// E2 quick — the power of few choices (ratio vs sparsity).
+pub fn macro_e2() -> Quality {
+    macro_table("e2")
+}
+
+/// E7 quick — §5.3 deletion-process failure rates vs Chernoff tails.
+pub fn macro_e7() -> Quality {
+    macro_table("e7")
+}
+
+/// E8 quick — SMORE-style TE comparison (MLU ratio vs sparsity).
+pub fn macro_e8() -> Quality {
+    macro_table("e8")
+}
+
+/// FRT congestion-tree build on a 6×6 grid.
+pub fn frt_build() -> Quality {
+    let _span = sor_obs::span("perf/frt");
+    let g = gen::grid(6, 6);
+    let mut rng = rng_for(0x5f01);
+    let tree = FrtTree::build(&g, &g.unit_lengths(), &mut rng);
+    let nodes: &[TreeNode] = tree.nodes();
+    let route = tree.route(NodeId(0), NodeId(35));
+    let max_rel = tree.relative_loads(&g).into_iter().fold(0.0f64, f64::max);
+    vec![
+        q("frt/tree_nodes", nodes.len() as f64),
+        q("frt/route_hops", route.hops() as f64),
+        q("frt/max_rel_load", max_rel),
+    ]
+}
+
+/// MWU restricted congestion solve on Q6 with Valiant candidate paths.
+pub fn mwu_restricted() -> Quality {
+    let _span = sor_obs::span("perf/mwu");
+    let g = gen::hypercube(6);
+    let valiant = ValiantHypercube::new(g.clone());
+    let demand = random_permutation(&g, &mut rng_for(0x5f02));
+    let pairs = demand_pairs(&demand);
+    let sampled: SampledSystem = sample_k_distinct(&valiant, &pairs, 4, &mut rng_for(0x5f03));
+    let draws: usize = sampled.raw.iter().map(|(_, d)| d.len()).sum();
+    let sor = SemiObliviousRouting::new(g, sampled.system.clone());
+    let cong = sor.congestion(&demand, 0.25);
+    vec![
+        q("mwu/congestion", cong),
+        q("mwu/raw_draws", draws as f64),
+        q("mwu/pairs", pairs.len() as f64),
+    ]
+}
+
+/// Randomized rounding via the multi-scale completion routing on a 4×4
+/// grid (fractional solve → integral assignment → explicit routes).
+pub fn rounding() -> Quality {
+    let _span = sor_obs::span("perf/rounding");
+    let g = gen::grid(4, 4);
+    let pairs: Vec<(NodeId, NodeId)> = vec![
+        (NodeId(0), NodeId(15)),
+        (NodeId(3), NodeId(12)),
+        (NodeId(5), NodeId(10)),
+        (NodeId(12), NodeId(3)),
+    ];
+    let mut rng = rng_for(0x5f04);
+    let cr = CompletionRouting::build(&g, &pairs, 2, 2, &mut rng);
+    let demand = Demand::from_triples(pairs.iter().map(|&(s, t)| (s, t, 1.0)));
+    let (res, routes): (CompletionResult, Vec<sor_graph::Path>) = cr
+        .route_integral(&demand, 0.25, &mut rng)
+        .expect("grid demand routable at some scale");
+    vec![
+        q("completion/time", res.completion_time()),
+        q("completion/congestion", res.congestion),
+        q("completion/dilation", res.dilation as f64),
+        q("completion/routes", routes.len() as f64),
+        q("completion/scales", cr.num_scales() as f64),
+        q("completion/sparsity", cr.sparsity() as f64),
+        q(
+            "completion/union_paths",
+            cr.union_system().total_paths() as f64,
+        ),
+    ]
+}
+
+/// Store-and-forward scheduler step loop on Q6 under the transpose
+/// permutation, immediate and staggered releases.
+pub fn sched_steps() -> Quality {
+    let _span = sor_obs::span("perf/sched");
+    let g = gen::hypercube(6);
+    let routes: Vec<sor_graph::Path> = gen::transpose_perm(6)
+        .into_iter()
+        .filter(|(s, t)| s != t)
+        .map(|(s, t)| sor_graph::bfs_path(&g, s, t).expect("hypercube is connected"))
+        .collect();
+    let res: SimResult =
+        try_simulate_released(&g, &routes, None, Policy::RandomPriority { seed: 1 })
+            .expect("valid routes");
+    let releases: Vec<u64> = (0..routes.len() as u64).map(|i| i % 4).collect();
+    let staggered = try_simulate_released(
+        &g,
+        &routes,
+        Some(&releases),
+        Policy::RandomPriority { seed: 1 },
+    )
+    .expect("valid routes");
+    vec![
+        q("sched/makespan", res.makespan as f64),
+        q("sched/congestion", res.congestion),
+        q("sched/dilation", res.dilation as f64),
+        q("sched/mean_latency", res.mean_latency().unwrap_or(0.0)),
+        q("sched/max_queue", res.max_queue as f64),
+        q("sched/staggered_makespan", staggered.makespan as f64),
+    ]
+}
+
+/// The §5.3 deletion process with full forensics: detailed outcome,
+/// pattern bookkeeping (Definition 5.11), the weak→strong reduction
+/// (Lemma 5.8), and the negative-association tail arithmetic.
+pub fn deletion() -> Quality {
+    let _span = sor_obs::span("perf/deletion");
+    let g = gen::hypercube(5);
+    let valiant = ValiantHypercube::new(g.clone());
+    let demand = random_permutation(&g, &mut rng_for(0x5f05));
+    let pairs = demand_pairs(&demand);
+    let sampled = sample_k(&valiant, &pairs, 4, &mut rng_for(0x5f06));
+    let tau = 2.0;
+
+    let (outcome, alive): (ProcessOutcome, _) =
+        deletion_process_detailed(&g, &sampled, &demand, tau);
+    let alive_draws: usize = alive
+        .values()
+        .map(|flags| flags.iter().filter(|&&a| a).count())
+        .sum();
+
+    let max_draws = pairs
+        .iter()
+        .map(|&(s, t)| sampled.draws(s, t))
+        .max()
+        .unwrap_or(0);
+    let pattern = pattern_of_run(&outcome.deleted_at, 0.05, max_draws.max(1));
+    let bad = pattern
+        .as_deref()
+        .map(|p| is_bad_pattern(p, 1, 2, max_draws.max(1) as u64))
+        .unwrap_or(false);
+    #[allow(clippy::cast_precision_loss)]
+    // sor-check: allow(lossy-cast) — tiny combinatorial count, exact in f64
+    let bad_count = count_bad_patterns(6, 1, 2, 8) as f64;
+    let bound = pattern_count_bound(6, 1, 8);
+
+    let (survivors, loads) = surviving_routing(&g, &sampled, &demand, tau);
+    let w2s = weak_to_strong(&g, &sampled, &demand, tau, 0.1, 32);
+    let (w2s_cong, w2s_rounds) = w2s
+        .map(|(l, r)| (l.congestion(&g), r as f64))
+        .unwrap_or((-1.0, -1.0));
+
+    // Tail arithmetic over the per-edge deletion weights.
+    let idx: Vec<f64> = (0..outcome.deleted_at.len()).map(|i| i as f64).collect();
+    let corr = correlation(&idx, &outcome.deleted_at);
+    let tails: Vec<f64> = outcome
+        .deleted_at
+        .iter()
+        .map(|&w| (w / 4.0).min(1.0))
+        .collect();
+    let joint = joint_tail(&tails[..tails.len().min(8)]);
+    let union = union_bound(tails.len() as f64, 1e-3);
+
+    vec![
+        q("deletion/survival", outcome.survival_fraction()),
+        q("deletion/weak_success", b01(outcome.weak_success())),
+        q("deletion/overcongested", outcome.overcongested.len() as f64),
+        q("deletion/alive_draws", alive_draws as f64),
+        q(
+            "deletion/final_congestion",
+            outcome.final_loads.congestion(&g),
+        ),
+        q("deletion/pattern_bad", b01(bad)),
+        q("deletion/bad_patterns", bad_count),
+        q("deletion/pattern_bound", bound),
+        q("deletion/surviving_size", survivors.size()),
+        q("deletion/surviving_congestion", loads.congestion(&g)),
+        q("deletion/w2s_congestion", w2s_cong),
+        q("deletion/w2s_rounds", w2s_rounds),
+        q("deletion/special", b01(is_special(&demand, &sampled, 0.5))),
+        q("deletion/corr", corr),
+        q("deletion/joint_tail", joint),
+        q("deletion/union_bound", union),
+    ]
+}
+
+/// MCF solves: fallible API on a geometric random graph with Zipf
+/// demand, the grouped variant, and a hotspot matrix on a Clos fabric.
+pub fn mcf() -> Quality {
+    let _span = sor_obs::span("perf/mcf");
+    let mut rng = rng_for(0x5f07);
+    // Deterministically find a connected geometric instance.
+    let g = loop {
+        let cand = random_geometric(24, 0.45, &mut rng);
+        if sor_graph::is_connected(&cand) {
+            break cand;
+        }
+    };
+    let demand = zipf_demand(&g, 10, 1.0, 4.0, &mut rng);
+    let opt: OptResult = match try_max_concurrent_flow(&g, &demand, 0.25) {
+        Ok(r) => r,
+        Err(FlowError::Disconnected { s, t }) => {
+            unreachable!("connected instance reported {s}->{t} disconnected")
+        }
+    };
+    let grouped = max_concurrent_flow_grouped(&g, &demand, 0.25);
+
+    let clos = gen::clos(3, 4, 1.0);
+    let spine0: NodeId = clos_spine(0);
+    let leaves: Vec<NodeId> = (3..7).map(NodeId::from_usize).collect();
+    let hot = hotspot_tm(&leaves, 6.0, 2, 5.0, &mut rng);
+    let hot_opt = max_concurrent_flow_grouped(&clos, &hot, 0.25);
+
+    vec![
+        q("mcf/upper", opt.congestion_upper),
+        q("mcf/lower", opt.congestion_lower),
+        q("mcf/gap", opt.gap()),
+        q("mcf/estimate", opt.congestion_estimate()),
+        q("mcf/paths", opt.paths.len() as f64),
+        q("mcf/grouped_upper", grouped.congestion_upper),
+        q("mcf/hotspot_upper", hot_opt.congestion_upper),
+        q("mcf/spine0_degree", clos.incident(spine0).len() as f64),
+    ]
+}
+
+/// Graph-algorithm sweep: BFS/Dijkstra trees, global min cut, spectral
+/// gap, on a geometric random graph and structured families.
+pub fn graph_algos() -> Quality {
+    let _span = sor_obs::span("perf/graph");
+    let mut rng = rng_for(0x5f08);
+    let g = random_geometric(40, 0.35, &mut rng);
+
+    let dists = bfs_dists(&g, NodeId(0));
+    let unreachable = dists.iter().filter(|&&d| d == UNREACHABLE).count();
+    let parents = bfs_parents(&g, NodeId(0));
+    let reached = parents.iter().filter(|p| p.is_some()).count();
+
+    let lengths = g.unit_lengths();
+    let spt: ShortestPathTree = dijkstra(&g, NodeId(0), &lengths);
+    let far = NodeId::from_usize(g.num_nodes() - 1);
+    let sp_hops = shortest_path(&g, NodeId(0), far, &lengths)
+        .or_else(|| spt.path_to(&g, far))
+        .map_or(-1.0, |p| p.hops() as f64);
+
+    let grid = gen::grid(4, 4);
+    let (cut, side) = stoer_wagner(&grid);
+    let l2 = lambda2(&grid, 200);
+    let expander = is_expander(&gen::hypercube(4), 0.2);
+
+    vec![
+        q("graph/unreachable", unreachable as f64),
+        q("graph/bfs_reached", reached as f64),
+        q("graph/sp_hops", sp_hops),
+        q("graph/total_cap", total_capacity(grid.edges())),
+        q("graph/mincut", cut),
+        q("graph/mincut_side", side.len() as f64),
+        q("graph/lambda2", l2),
+        q("graph/q4_expander", b01(expander)),
+    ]
+}
+
+/// Sum of edge capacities (typed over [`EdgeRec`] so the record type is
+/// part of the public surface this harness exercises).
+fn total_capacity(edges: &[EdgeRec]) -> f64 {
+    edges.iter().map(|e| e.cap).sum()
+}
+
+/// Hop-bounded tree families, the electrical/spectral machinery, and a
+/// configured Räcke build.
+pub fn hop_electrical() -> Quality {
+    let _span = sor_obs::span("perf/hop_electrical");
+    let g = gen::grid(5, 5);
+    let mut rng = rng_for(0x5f09);
+
+    let fam = HopFamily::build(&g, 2, &mut rng);
+    let pairs = [(NodeId(0), NodeId(24)), (NodeId(4), NodeId(20))];
+    let stretch = fam.measured_stretch(0, &pairs);
+
+    let lap = Laplacian::of(&g);
+    let n = g.num_nodes();
+    let mut b = vec![0.0; n];
+    b[0] = 1.0;
+    b[n - 1] = -1.0;
+    let phi = lap.solve(&b, 1e-10, 20 * n + 100);
+    let flow: Vec<f64> = g
+        .edges()
+        .iter()
+        .map(|e| e.cap * (phi[e.u.index()] - phi[e.v.index()]))
+        .collect();
+    let dist = decompose_flow(&g, NodeId(0), NodeId(24), flow);
+    let dil = dist_dilation(&dist);
+    let drawn = sample_from_dist(&dist, &mut rng);
+
+    let er = ElectricalRouting::new(g.clone());
+    let er_dist = er.path_distribution(NodeId(0), NodeId(12));
+
+    let w = vec![1.0; g.num_edges()];
+    let hier = SpectralHierarchy::build(&g, &w, &mut rng);
+    let hier_route = hier.route(NodeId(0), NodeId(24));
+
+    let raecke = RaeckeRouting::build_config(
+        g.clone(),
+        RaeckeConfig {
+            num_trees: 2,
+            eta: Some(1.0),
+        },
+        &mut rng,
+    );
+    let raecke_dist = raecke.path_distribution(NodeId(0), NodeId(24));
+
+    vec![
+        q("hop/scales", fam.scales().len() as f64),
+        q("hop/stretch", stretch),
+        q("elec/dilation", dil as f64),
+        q("elec/support", dist.len() as f64),
+        q("elec/drawn_hops", drawn.hops() as f64),
+        q("elec/er_support", er_dist.len() as f64),
+        q("hier/route_hops", hier_route.hops() as f64),
+        q("raecke/support", raecke_dist.len() as f64),
+    ]
+}
+
+/// TE scheme comparison on Abilene: one scheme run, the online drifting
+/// TM simulation, churn aggregate, and a failure replay.
+pub fn te_schemes() -> Quality {
+    let _span = sor_obs::span("perf/te");
+    let scenario = Scenario::abilene();
+    let mut rng = rng_for(0x5f0a);
+    let tm = gravity_tm(&scenario, 8.0, &mut rng);
+
+    let sr: SchemeResult = run_scheme(
+        &scenario,
+        &tm,
+        Scheme::SemiOblivious { s: 2, trees: 2 },
+        42,
+        0.3,
+    );
+    let steps: Vec<OnlineStep> = online_simulation(&scenario, &tm, 4, 0.2, 2, 2, 42, 0.3);
+    let mean_semi = steps.iter().map(|s| s.semi_ratio).sum::<f64>() / steps.len().max(1) as f64;
+    let mean_obl = steps.iter().map(|s| s.oblivious_ratio).sum::<f64>() / steps.len().max(1) as f64;
+
+    let cr: ChurnResult = churn_experiment(&scenario, &tm, 3, 0.2, 2, 2, 42, 0.3);
+    let fr: Option<FailureResult> = failure_experiment(&scenario, &tm, 2, 2, 1, 42, 0.3);
+    let (f_ratio, f_fallback) = fr
+        .map(|r| (r.semi_ratio(), r.fallback_pairs as f64))
+        .unwrap_or((-1.0, -1.0));
+
+    vec![
+        q("te/mlu_ratio", sr.ratio_vs_opt),
+        q("te/sparsity", sr.sparsity as f64),
+        q("te/online_mean_semi", mean_semi),
+        q("te/online_mean_oblivious", mean_obl),
+        q("te/churn_semi_ratio", cr.semi_mean_ratio),
+        q("te/churn_mcf", cr.mcf_path_churn),
+        q("te/churn_semi", cr.semi_path_churn),
+        q("te/failure_ratio", f_ratio),
+        q("te/failure_fallback", f_fallback),
+    ]
+}
+
+/// Exhaustive evaluation machinery on tiny instances: the "for all
+/// permutation demands" quantifier made finite, the integral ratio
+/// against the exact branch-and-bound optimum, and the exact
+/// single-pair/fractional references.
+pub fn eval_exact() -> Quality {
+    let _span = sor_obs::span("perf/eval");
+    let g = gen::grid(3, 3);
+    let nodes: Vec<NodeId> = (0..4).map(NodeId::from_usize).collect();
+    let demands = enumerate_matching_demands(&nodes, 2);
+
+    let base = KspRouting::new(g.clone(), 2);
+    let first = demands.first().expect("nonempty enumeration");
+    let pairs = demand_pairs(first);
+    let sampled = sample_k(&base, &pairs, 2, &mut rng_for(0x5f0b));
+    let sor = SemiObliviousRouting::new(g.clone(), sampled.system.clone());
+
+    let subset: Vec<Demand> = demands.iter().take(4).cloned().collect();
+    // Restrict to demands whose pairs the sampled system covers: the
+    // enumeration varies pairs, ours was sampled for `first` only.
+    let covered: Vec<Demand> = subset
+        .into_iter()
+        .filter(|d| {
+            d.entries()
+                .iter()
+                .all(|&(s, t, _)| !sampled.system.paths(s, t).is_empty())
+        })
+        .collect();
+    let report: EvalReport = evaluate_vs_opt(&sor, &covered, 0.3);
+    let per: Option<&DemandEval> = report.per_demand.first();
+    let certified = per.map_or(-1.0, DemandEval::certified_ratio);
+
+    // Exact integral optimum restricted to the installed candidates.
+    let paths_a = sampled.system.paths(pairs[0].0, pairs[0].1);
+    let entries = [RestrictedEntry {
+        s: pairs[0].0,
+        t: pairs[0].1,
+        demand: 2.0,
+        paths: paths_a,
+    }];
+    let opt_int = exact_integral_restricted(&g, &entries);
+    let unit = Demand::from_triples([(pairs[0].0, pairs[0].1, 2.0)]);
+    let semi_int = sor
+        .route_integral(&unit, 0.3, &mut rng_for(0x5f0c))
+        .congestion;
+    let ie = IntegralEval { semi_int, opt_int };
+
+    let frac = exact_single_pair_fractional(&g, NodeId(0), NodeId(8), 2.0);
+    let simple = all_simple_paths(&g, NodeId(0), NodeId(4));
+
+    vec![
+        q("eval/demands", demands.len() as f64),
+        q("eval/covered", covered.len() as f64),
+        q("eval/worst_ratio", report.worst_ratio()),
+        q("eval/mean_ratio", report.mean_ratio()),
+        q("eval/certified_ratio", certified),
+        q("eval/integral_ratio", ie.ratio()),
+        q("eval/opt_int", ie.opt_int),
+        q("eval/single_pair_frac", frac),
+        q("eval/simple_paths", simple.len() as f64),
+    ]
+}
+
+/// The Section 8 adversary on a chained two-star family, plus the
+/// validator constants recorded as gate metrics.
+pub fn adversary() -> Quality {
+    let _span = sor_obs::span("perf/adversary");
+    let chain = sor_graph::gen::TwoStarChain::new(&[(2, 4), (3, 5)]);
+    let g: &Graph = chain.graph();
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    for b in 0..chain.num_blocks() {
+        let (_, m) = chain.spec(b);
+        for i in 0..m {
+            for j in 0..m {
+                pairs.push((chain.left_leaf(b, i), chain.right_leaf(b, j)));
+            }
+        }
+    }
+    let base = KspRouting::new(g.clone(), 2);
+    let sampled = sample_k(&base, &pairs, 1, &mut rng_for(0x5f0d));
+    let system: &PathSystem = &sampled.system;
+    let res: Option<AdversaryResult> = adversarial_demand_chain(&chain, system);
+    let (ratio, matched, certified, hitting) = res
+        .map(|r| {
+            (
+                r.ratio(),
+                r.matched as f64,
+                r.certified_congestion,
+                r.hitting_set.len() as f64,
+            )
+        })
+        .unwrap_or((-1.0, -1.0, -1.0, -1.0));
+
+    vec![
+        q("adv/ratio", ratio),
+        q("adv/matched", matched),
+        q("adv/certified", certified),
+        q("adv/hitting_set", hitting),
+        // The solver self-check switch (`validators_enabled`) is *not*
+        // recorded here: it flips between debug and release profiles, and
+        // quality metrics must gate identically in both. The perf binary
+        // reports it in the baseline's informational meta block instead.
+        q("meta/flow_tolerance", TOLERANCE),
+    ]
+}

@@ -45,8 +45,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 mod json;
 mod logging;
 mod metrics;
+pub mod snapshot;
 mod span;
 
+pub use json::{parse_json, JsonError, JsonValue};
 pub use logging::{
     log, log_enabled, log_level, set_log_level, set_sink, take_captured, Level, Sink,
 };
