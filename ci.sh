@@ -34,6 +34,16 @@ cargo run -q --release -p sor-bench --bin tables -- \
   --exp e1 --quick --metrics-dir target/obs > /dev/null
 test -s target/obs/BENCH_e1.json
 
+echo "==> online serving smoke (5 epochs, failure + recovery, snapshot artifact)"
+mkdir -p target/serve
+cargo run -q --release --bin sor -- serve --graph expander:16x4 \
+  --epochs 5 --rate 8 --patterns 2 --fail-at 2 --restore-after 2 \
+  --compare-fresh --seed 7 --quiet \
+  --metrics-out target/serve/serve-metrics.json > target/serve/serve-snapshot.txt
+test -s target/serve/serve-snapshot.txt
+test -s target/serve/serve-metrics.json
+grep -q "hits=" target/serve/serve-snapshot.txt
+
 echo "==> perf gate (work + quality vs BENCH_BASELINE.json; wall excluded = noise-proof)"
 mkdir -p target/perf
 cargo run -q --release -p sor-bench --bin perf -- \

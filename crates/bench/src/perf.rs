@@ -147,6 +147,8 @@ const BENCHES: &[(&str, BenchFn)] = &[
     ("kernel/te_schemes", kernels::te_schemes),
     ("kernel/eval_exact", kernels::eval_exact),
     ("kernel/adversary", kernels::adversary),
+    ("kernel/serve_warm", kernels::serve_warm_cache),
+    ("kernel/serve_failover", kernels::serve_failover),
 ];
 
 /// Names of every bench in the suite, in order.

@@ -37,8 +37,8 @@ use sor_graph::gen::random::random_geometric;
 use sor_graph::globalcut::stoer_wagner;
 use sor_graph::shortest::{dijkstra, shortest_path, ShortestPathTree};
 use sor_graph::spectral::{is_expander, lambda2};
-use sor_graph::traversal::{bfs_dists, bfs_parents, UNREACHABLE};
-use sor_graph::{gen, EdgeRec, Graph, NodeId};
+use sor_graph::traversal::{bfs_dists, bfs_parents, bfs_path, UNREACHABLE};
+use sor_graph::{connected_without, gen, EdgeId, EdgeRec, Graph, NodeId};
 use sor_hop::{dist_dilation, HopFamily};
 use sor_oblivious::electrical::{decompose_flow, Laplacian};
 use sor_oblivious::frt::TreeNode;
@@ -49,6 +49,11 @@ use sor_oblivious::{
 };
 use sor_sched::sim::{try_simulate_released, SimResult};
 use sor_sched::Policy;
+use sor_serve::{
+    graph_fingerprint, matching_patterns, pairs_fingerprint, run_workload_with_patterns,
+    scenario_patterns, CacheKey, CacheStats, Engine, EngineConfig, EpochSnapshot, PathSystemCache,
+    PublishedRoute, Request, WorkloadConfig, WorkloadReport,
+};
 use sor_te::{
     churn_experiment, failure_experiment, gravity_tm, online_simulation, run_scheme, ChurnResult,
     FailureResult, OnlineStep, Scenario, Scheme, SchemeResult,
@@ -540,5 +545,141 @@ pub fn adversary() -> Quality {
         // quality metrics must gate identically in both. The perf binary
         // reports it in the baseline's informational meta block instead.
         q("meta/flow_tolerance", TOLERANCE),
+    ]
+}
+
+/// Warm-cache epoch loop on the E1 expander workload: a recurring
+/// pattern pool keeps hitting the path-system cache, while the
+/// `compare_fresh` baseline rebuilds the Räcke routing and resamples
+/// every epoch. The amortization shows up as the wall-time gap between
+/// the sibling `serve/epoch` and `serve/fresh_sample` spans (the warm
+/// epoch must be ≥5× faster); the quality metrics below pin the
+/// deterministic side: hit/miss totals, congestion, and the
+/// cached-vs-fresh quality ratio.
+pub fn serve_warm_cache() -> Quality {
+    let _span = sor_obs::span("perf/serve_warm");
+    let g = gen::random_regular(32, 4, &mut rng_for(0x5f10));
+    let mut rng = rng_for(0x5f10);
+    let patterns = matching_patterns(&g, 2, 12, &mut rng);
+    let ecfg = EngineConfig {
+        sparsity: 5, // ⌈log2 32⌉, the E1 sparsity
+        trees: 8,
+        epoch_batch: 32,
+        queue_bound: 64,
+        cache_capacity: 8,
+        compare_fresh: true,
+        seed: 0x5f10,
+        ..EngineConfig::default()
+    };
+    let wcfg = WorkloadConfig {
+        epochs: 6,
+        rate: 12,
+        patterns: 2,
+        pairs_per_pattern: 12,
+        fail_at: None,
+        seed: 0x5f10,
+        ..WorkloadConfig::default()
+    };
+    let report: WorkloadReport = run_workload_with_patterns(&g, ecfg, &wcfg, &patterns);
+    let stats: CacheStats = report.cache;
+    let last: &EpochSnapshot = report.snapshots.last().expect("epochs ran");
+    let route: &PublishedRoute = last.routes.first().expect("routes published");
+    let rate_sum: f64 = route.paths.iter().map(|&(_, w)| w).sum();
+
+    // Direct cache exercise: fingerprint keying and a scripted hit.
+    let probe = PathSystemCache::with_shards(2, 2);
+    let key = CacheKey {
+        graph_fp: graph_fingerprint(&g),
+        pairs_fp: pairs_fingerprint(&patterns[0]),
+        sparsity: 1,
+    };
+    let (_, miss_hit) = probe.get_or_insert_with(key, || {
+        let mut sys = PathSystem::new();
+        for &(s, t) in &patterns[0] {
+            sys.insert(s, t, bfs_path(&g, s, t).expect("expander is connected"));
+        }
+        sys
+    });
+    let (probed, second_hit) = probe.get_or_insert_with(key, PathSystem::new);
+
+    vec![
+        q("serve/epochs", report.snapshots.len() as f64),
+        q("serve/admitted", report.admitted as f64),
+        q("serve/cache_hits", stats.hits as f64),
+        q("serve/cache_misses", stats.misses as f64),
+        q("serve/cache_evictions", stats.evictions as f64),
+        q("serve/mean_congestion", report.mean_congestion()),
+        q(
+            "serve/fresh_ratio",
+            report.mean_fresh_ratio().unwrap_or(-1.0),
+        ),
+        q("serve/last_epoch_hit", b01(last.cache_hit)),
+        q("serve/first_route_paths", route.paths.len() as f64),
+        q("serve/first_route_rate", rate_sum),
+        q("serve/probe_first_hit", b01(miss_hit)),
+        q("serve/probe_second_hit", b01(second_hit)),
+        q("serve/probe_pairs", probed.num_pairs() as f64),
+        q("serve/key_shard", (key.graph_fp % 997) as f64),
+    ]
+}
+
+/// Failure-invalidation epoch on the Abilene WAN: warm the cache, take a
+/// connectivity-preserving edge down (selective invalidation), route the
+/// degraded epoch (fallback pairs counted like `sor-te`), restore, and
+/// confirm the cache re-warms.
+pub fn serve_failover() -> Quality {
+    let _span = sor_obs::span("perf/serve_failover");
+    let sc = Scenario::abilene();
+    let g = sc.graph.clone();
+    let mut rng = rng_for(0x5f11);
+    let pats = scenario_patterns(&sc, 2, 5, &mut rng);
+    let mut engine = Engine::new(
+        g.clone(),
+        EngineConfig {
+            sparsity: 4,
+            trees: 6,
+            epoch_batch: 16,
+            queue_bound: 32,
+            cache_capacity: 4,
+            seed: 0x5f11,
+            ..EngineConfig::default()
+        },
+    );
+    // Warm both patterns.
+    for pat in &pats {
+        for &(s, t) in pat {
+            engine.ingest(Request::unit(s, t));
+        }
+        engine.run_epoch();
+    }
+    // Deterministic victim: first edge whose removal keeps Abilene
+    // connected.
+    let victim = (0..g.num_edges())
+        .map(EdgeId::from_usize)
+        .find(|&e| connected_without(&g, &[e]))
+        .expect("Abilene has a non-bridge edge");
+    let invalidated = engine.fail_edges(&[victim]);
+    for &(s, t) in &pats[0] {
+        engine.ingest(Request::unit(s, t));
+    }
+    let degraded: EpochSnapshot = engine.run_epoch();
+    engine.restore_all();
+    for &(s, t) in &pats[0] {
+        engine.ingest(Request::unit(s, t));
+    }
+    let recovered = engine.run_epoch();
+    let stats = engine.cache_stats();
+
+    vec![
+        q("failover/invalidated", invalidated as f64),
+        q("failover/degraded_hit", b01(degraded.cache_hit)),
+        q("failover/fallback_pairs", degraded.fallback_pairs as f64),
+        q("failover/unserved_pairs", degraded.unserved_pairs as f64),
+        q("failover/degraded_congestion", degraded.congestion),
+        q("failover/recovered_congestion", recovered.congestion),
+        q("failover/cache_hits", stats.hits as f64),
+        q("failover/cache_misses", stats.misses as f64),
+        q("failover/cache_invalidations", stats.invalidations as f64),
+        q("failover/queue_drained", b01(engine.queue_depth() == 0)),
     ]
 }

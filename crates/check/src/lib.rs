@@ -149,7 +149,7 @@ pub struct FileClass {
 
 /// The library crates (everything algorithmic; the bench harness and
 /// binaries are driver code and may panic on broken input).
-const LIB_CRATES: [&str; 9] = [
+const LIB_CRATES: [&str; 10] = [
     "graph",
     "flow",
     "oblivious",
@@ -157,6 +157,7 @@ const LIB_CRATES: [&str; 9] = [
     "core",
     "sched",
     "te",
+    "serve",
     "check",
     "obs",
 ];

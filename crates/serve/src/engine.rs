@@ -1,0 +1,619 @@
+//! The online engine: epoch lifecycle over cached path systems.
+//!
+//! Lifecycle per epoch: **ingest** (requests queue up, backpressure
+//! rejects past a bound) → **admit** (pop up to a batch into the epoch's
+//! demand) → **solve** (re-optimize sending rates restricted to a cached
+//! sparse path system, sampling one only on a cache miss) → **publish**
+//! (an [`EpochSnapshot`] with per-pair rate-weighted routes).
+//!
+//! The expensive phase — building the Räcke routing and sampling path
+//! systems — happens once at startup and on cache misses; every warm
+//! epoch is just an MWU rate re-optimization ([`SemiObliviousRouting::
+//! route_fractional`]), which is the semi-oblivious model's operational
+//! promise. Edge failures invalidate only affected cache entries and the
+//! epoch routes on the degraded system, pairs that lost every candidate
+//! falling back to a surviving shortest path exactly like `sor-te`'s
+//! failure replay.
+//!
+//! Everything is deterministic for a fixed seed: the cache is keyed and
+//! evicted deterministically, the engine RNG is a seeded `StdRng`, and
+//! the fresh-sample comparison derives its RNG from (seed, epoch).
+
+use crate::cache::{CacheKey, CacheStats, PathSystemCache};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use sor_core::sample::{demand_pairs, sample_k};
+use sor_core::{PathSystem, SemiObliviousRouting};
+use sor_flow::Demand;
+use sor_graph::{EdgeId, Graph, NodeId};
+use sor_oblivious::RaeckeRouting;
+use sor_te::emergency_path;
+use std::collections::VecDeque;
+
+/// One routing request: `amount` units of flow from `src` to `dst`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Request {
+    /// Source vertex.
+    pub src: NodeId,
+    /// Destination vertex.
+    pub dst: NodeId,
+    /// Flow units requested (finite, positive).
+    pub amount: f64,
+}
+
+impl Request {
+    /// A unit request.
+    pub fn unit(src: NodeId, dst: NodeId) -> Self {
+        Request {
+            src,
+            dst,
+            amount: 1.0,
+        }
+    }
+}
+
+/// Engine tuning knobs. Every field participates in the determinism
+/// contract: same config + same ingest sequence ⇒ bit-identical
+/// snapshots.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Paths sampled per pair (the `s` of an `s`-sparse system).
+    pub sparsity: usize,
+    /// FRT trees in the Räcke mixture built at startup.
+    pub trees: usize,
+    /// MWU solver accuracy.
+    pub eps: f64,
+    /// Max requests admitted into one epoch.
+    pub epoch_batch: usize,
+    /// Queue depth beyond which `ingest` rejects (backpressure).
+    pub queue_bound: usize,
+    /// Total path systems the cache may hold.
+    pub cache_capacity: usize,
+    /// Solve each epoch integrally (randomized rounding + local search)
+    /// when the admitted demand is integral; otherwise fractionally.
+    pub integral: bool,
+    /// Also run the resample-per-epoch baseline (fresh Räcke build +
+    /// sample + solve) and record its congestion — the cost the cache
+    /// amortizes away.
+    pub compare_fresh: bool,
+    /// Seed for the engine RNG and all derived per-epoch RNGs.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            sparsity: 3,
+            trees: 6,
+            eps: 0.2,
+            epoch_batch: 64,
+            queue_bound: 256,
+            cache_capacity: 32,
+            integral: false,
+            compare_fresh: false,
+            seed: 0,
+        }
+    }
+}
+
+/// A published per-pair route assignment: candidate paths (as edge-id
+/// sequences) with the rates the epoch's re-optimization put on them.
+/// Zero-rate candidates are omitted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PublishedRoute {
+    /// Source vertex.
+    pub s: NodeId,
+    /// Destination vertex.
+    pub t: NodeId,
+    /// The pair's admitted demand.
+    pub demand: f64,
+    /// `(path edges, rate)` with rate > 0; rates sum to `demand`.
+    pub paths: Vec<(Vec<EdgeId>, f64)>,
+}
+
+/// What one epoch published. `PartialEq` + float fields make bit-level
+/// determinism checks (`same seed ⇒ identical snapshots`) a plain
+/// `assert_eq!`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochSnapshot {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Requests admitted into this epoch.
+    pub admitted: usize,
+    /// Whether the path system came from the cache.
+    pub cache_hit: bool,
+    /// Congestion of the published routing.
+    pub congestion: f64,
+    /// Solver's LP lower bound (0 when the epoch was empty or integral).
+    pub lower_bound: f64,
+    /// Pairs that lost every sampled candidate to failures and were
+    /// routed on an emergency shortest path.
+    pub fallback_pairs: usize,
+    /// Pairs disconnected outright by the failures (dropped from the
+    /// epoch's demand).
+    pub unserved_pairs: usize,
+    /// Queue depth after admission (what backpressure acts on).
+    pub queue_depth: usize,
+    /// Sparsity of the system the epoch solved on.
+    pub sparsity: usize,
+    /// Congestion of the resample-per-epoch baseline, when
+    /// [`EngineConfig::compare_fresh`] is set.
+    pub fresh_congestion: Option<f64>,
+    /// The rate assignment, one entry per served pair.
+    pub routes: Vec<PublishedRoute>,
+}
+
+impl EpochSnapshot {
+    fn empty(epoch: u64, queue_depth: usize) -> Self {
+        EpochSnapshot {
+            epoch,
+            admitted: 0,
+            cache_hit: false,
+            congestion: 0.0,
+            lower_bound: 0.0,
+            fallback_pairs: 0,
+            unserved_pairs: 0,
+            queue_depth,
+            sparsity: 0,
+            fresh_congestion: None,
+            routes: Vec::new(),
+        }
+    }
+}
+
+/// The long-running engine (see module docs for the lifecycle).
+pub struct Engine {
+    g: Graph,
+    cfg: EngineConfig,
+    routing: RaeckeRouting,
+    cache: PathSystemCache,
+    queue: VecDeque<Request>,
+    failed: Vec<EdgeId>,
+    rng: StdRng,
+    epoch: u64,
+    rejected: u64,
+    last: Option<SemiObliviousRouting>,
+}
+
+impl Engine {
+    /// Build the engine: one Räcke routing construction (the expensive
+    /// oblivious phase), an empty cache, an empty queue.
+    pub fn new(g: Graph, cfg: EngineConfig) -> Self {
+        let _span = sor_obs::span("serve/build");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let routing = RaeckeRouting::build(g.clone(), cfg.trees, &mut rng);
+        Engine {
+            cache: PathSystemCache::new(cfg.cache_capacity),
+            queue: VecDeque::new(),
+            failed: Vec::new(),
+            rng,
+            epoch: 0,
+            rejected: 0,
+            last: None,
+            g,
+            cfg,
+            routing,
+        }
+    }
+
+    /// Offer a request. Returns `false` (and counts a rejection) when the
+    /// queue is at the backpressure bound. Panics on malformed requests
+    /// (self-loop, non-positive amount) — the same contract as `Demand`.
+    pub fn ingest(&mut self, req: Request) -> bool {
+        assert!(req.src != req.dst, "request between a vertex and itself");
+        assert!(
+            req.amount.is_finite() && req.amount > 0.0,
+            "request amount must be finite and positive"
+        );
+        if self.queue.len() >= self.cfg.queue_bound {
+            self.rejected += 1;
+            sor_obs::counter_add!("serve/requests_rejected");
+            return false;
+        }
+        self.queue.push_back(req);
+        true
+    }
+
+    /// Take edges down: extends the failure set and invalidates exactly
+    /// the cache entries whose systems route over them. Returns how many
+    /// entries were invalidated.
+    pub fn fail_edges(&mut self, edges: &[EdgeId]) -> usize {
+        for &e in edges {
+            if !self.failed.contains(&e) {
+                self.failed.push(e);
+            }
+        }
+        sor_obs::count_usize("serve/edge_failures", edges.len());
+        self.cache.invalidate_edges(edges)
+    }
+
+    /// Bring every failed edge back up. Cached entries were sampled on
+    /// the pristine graph and never contain emergency fallback paths, so
+    /// no invalidation is needed.
+    pub fn restore_all(&mut self) {
+        self.failed.clear();
+    }
+
+    /// Run one epoch: admit a batch, solve it on a cached (or freshly
+    /// sampled) path system, publish the snapshot.
+    pub fn run_epoch(&mut self) -> EpochSnapshot {
+        let mut snap = {
+            let _span = sor_obs::span("serve/epoch");
+            self.run_epoch_inner()
+        };
+        if self.cfg.compare_fresh && snap.admitted > 0 {
+            // Sibling span, *outside* serve/epoch: the wall-time ratio of
+            // the two spans is the cache's amortization factor.
+            snap.fresh_congestion = Some(self.fresh_baseline(&snap));
+        }
+        snap
+    }
+
+    fn run_epoch_inner(&mut self) -> EpochSnapshot {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        sor_obs::counter_add!("serve/epochs");
+
+        let take = self.cfg.epoch_batch.min(self.queue.len());
+        let admitted: Vec<Request> = self.queue.drain(..take).collect();
+        sor_obs::count_usize("serve/requests_admitted", admitted.len());
+        #[allow(clippy::cast_precision_loss)]
+        // sor-check: allow(lossy-cast) — queue depths are far below 2^52
+        let depth = self.queue.len() as f64;
+        sor_obs::observe_into!("serve/queue_depth", &sor_obs::POW2_BUCKETS, depth);
+        if admitted.is_empty() {
+            return EpochSnapshot::empty(epoch, self.queue.len());
+        }
+
+        let demand = Demand::from_triples(admitted.iter().map(|r| (r.src, r.dst, r.amount)));
+        let pairs = demand_pairs(&demand);
+        let key = CacheKey::new(&self.g, &pairs, self.cfg.sparsity);
+        let Engine {
+            cache,
+            routing,
+            rng,
+            cfg,
+            ..
+        } = self;
+        let (sampled, cache_hit) = cache.get_or_insert_with(key, || {
+            let _span = sor_obs::span("serve/sample");
+            sample_k(routing, &pairs, cfg.sparsity, rng).system
+        });
+
+        let (system, fallback_pairs, unserved) =
+            resolve_failures(&self.g, &sampled, &self.failed, &pairs);
+        if fallback_pairs > 0 {
+            sor_obs::warn!(
+                "epoch {epoch}: {fallback_pairs} pair(s) lost every cached candidate; \
+                 emergency shortest-path fallback installed"
+            );
+            sor_obs::count_usize("serve/fallback_pairs", fallback_pairs);
+        }
+        let demand = if unserved.is_empty() {
+            demand
+        } else {
+            sor_obs::warn!(
+                "epoch {epoch}: {} pair(s) disconnected by failures; dropped",
+                unserved.len()
+            );
+            sor_obs::count_usize("serve/unserved_pairs", unserved.len());
+            Demand::from_triples(
+                demand
+                    .entries()
+                    .iter()
+                    .filter(|&&(s, t, _)| !unserved.contains(&(s, t)))
+                    .copied(),
+            )
+        };
+        if demand.support_size() == 0 {
+            let mut snap = EpochSnapshot::empty(epoch, self.queue.len());
+            snap.admitted = admitted.len();
+            snap.cache_hit = cache_hit;
+            snap.unserved_pairs = unserved.len();
+            return snap;
+        }
+
+        let sparsity = system.sparsity();
+        let sor = SemiObliviousRouting::new(self.g.clone(), system);
+        let (weights, congestion, lower_bound) = if self.cfg.integral && demand.is_integral() {
+            let sol = sor.route_integral(&demand, self.cfg.eps, &mut self.rng);
+            let weights: Vec<Vec<f64>> = sol
+                .counts
+                .iter()
+                .map(|c| c.iter().map(|&n| f64::from(n)).collect())
+                .collect();
+            (weights, sol.congestion, 0.0)
+        } else {
+            let sol = sor.route_fractional(&demand, self.cfg.eps);
+            (sol.weights, sol.congestion, sol.lower_bound)
+        };
+
+        // Publish: per-commodity route extraction (rayon; the vendored
+        // stand-in runs it sequentially, deterministically).
+        let routes: Vec<PublishedRoute> = demand
+            .entries()
+            .par_iter()
+            .zip(weights.par_iter())
+            .map(|(&(s, t, d), w)| PublishedRoute {
+                s,
+                t,
+                demand: d,
+                paths: sor
+                    .system()
+                    .paths(s, t)
+                    .par_iter()
+                    .zip(w.par_iter())
+                    .filter(|&(_, &rate)| rate > 0.0)
+                    .map(|(p, &rate)| (p.edges().to_vec(), rate))
+                    .collect(),
+            })
+            .collect();
+
+        let snap = EpochSnapshot {
+            epoch,
+            admitted: admitted.len(),
+            cache_hit,
+            congestion,
+            lower_bound,
+            fallback_pairs,
+            unserved_pairs: unserved.len(),
+            queue_depth: self.queue.len(),
+            sparsity,
+            fresh_congestion: None,
+            routes,
+        };
+        self.last = Some(sor);
+        snap
+    }
+
+    /// The resample-per-epoch baseline: rebuild the oblivious routing and
+    /// resample the epoch's system from scratch, then solve the same
+    /// demand — everything the cache lets warm epochs skip.
+    fn fresh_baseline(&self, snap: &EpochSnapshot) -> f64 {
+        let _span = sor_obs::span("serve/fresh_sample");
+        let demand = Demand::from_triples(snap.routes.iter().map(|r| (r.s, r.t, r.demand)));
+        let pairs = demand_pairs(&demand);
+        let mut rng =
+            StdRng::seed_from_u64(self.cfg.seed ^ snap.epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let base = RaeckeRouting::build(self.g.clone(), self.cfg.trees, &mut rng);
+        let sampled = sample_k(&base, &pairs, self.cfg.sparsity, &mut rng).system;
+        let (system, _, unserved) = resolve_failures(&self.g, &sampled, &self.failed, &pairs);
+        debug_assert!(unserved.is_empty(), "served pairs stay connected");
+        let sor = SemiObliviousRouting::new(self.g.clone(), system);
+        sor.congestion(&demand, self.cfg.eps)
+    }
+
+    /// The graph the engine routes on.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The path-system cache (stats, targeted tests).
+    pub fn cache(&self) -> &PathSystemCache {
+        &self.cache
+    }
+
+    /// Cache counter snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests rejected by backpressure so far.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Epochs run so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Currently failed edges.
+    pub fn failed_edges(&self) -> &[EdgeId] {
+        &self.failed
+    }
+
+    /// The system the last non-empty epoch solved on (degraded + fallback
+    /// paths included) — the containment-invariant tests check published
+    /// routes against exactly this.
+    pub fn last_system(&self) -> Option<&PathSystem> {
+        self.last.as_ref().map(SemiObliviousRouting::system)
+    }
+}
+
+/// Apply the failure set to a sampled system: drop crossing paths, give
+/// pairs that lost everything an emergency shortest path on the survivor
+/// graph (re-traced onto original edge ids, the `sor-te` failure-replay
+/// idiom), and report pairs the failures disconnected outright.
+fn resolve_failures(
+    g: &Graph,
+    sampled: &PathSystem,
+    failed: &[EdgeId],
+    pairs: &[(NodeId, NodeId)],
+) -> (PathSystem, usize, Vec<(NodeId, NodeId)>) {
+    if failed.is_empty() {
+        return (sampled.clone(), 0, Vec::new());
+    }
+    let mut system = sampled.without_edges(failed);
+    let survivor = g.without_edges(failed);
+    let mut fallback_pairs = 0;
+    let mut unserved = Vec::new();
+    for &(a, b) in pairs {
+        if system.covers(a, b) {
+            continue;
+        }
+        // `sor-te`'s emergency reroute: BFS on the survivor graph,
+        // re-traced onto original edge ids.
+        let Some(orig) = emergency_path(g, &survivor, failed, a, b) else {
+            unserved.push((a, b));
+            continue;
+        };
+        fallback_pairs += 1;
+        system.insert(a, b, orig);
+    }
+    (system, fallback_pairs, unserved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_graph::gen;
+
+    fn small_engine(compare_fresh: bool) -> Engine {
+        let g = gen::hypercube(3);
+        Engine::new(
+            g,
+            EngineConfig {
+                sparsity: 2,
+                trees: 3,
+                epoch_batch: 8,
+                queue_bound: 16,
+                cache_capacity: 4,
+                compare_fresh,
+                seed: 11,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn warm_epoch_hits_cache() {
+        let mut eng = small_engine(false);
+        for _ in 0..2 {
+            for i in 0..4u32 {
+                assert!(eng.ingest(Request::unit(NodeId(i), NodeId(7 - i))));
+            }
+        }
+        let first = eng.run_epoch();
+        assert_eq!(first.admitted, 8);
+        assert!(!first.cache_hit);
+        assert!(first.congestion > 0.0);
+        // same pair set again → hit, and the solve agrees bit-for-bit
+        for i in 0..4u32 {
+            eng.ingest(Request::unit(NodeId(i), NodeId(7 - i)));
+        }
+        for i in 0..4u32 {
+            eng.ingest(Request::unit(NodeId(i), NodeId(7 - i)));
+        }
+        let second = eng.run_epoch();
+        assert!(second.cache_hit);
+        assert_eq!(first.congestion.to_bits(), second.congestion.to_bits());
+        assert_eq!(first.routes, second.routes);
+        let st = eng.cache_stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+    }
+
+    #[test]
+    fn backpressure_rejects_at_bound() {
+        let mut eng = small_engine(false);
+        let mut accepted = 0;
+        for i in 0..40u32 {
+            if eng.ingest(Request::unit(NodeId(i % 7), NodeId(7))) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 16, "queue bound caps acceptance");
+        assert_eq!(eng.rejected_total(), 24);
+        assert_eq!(eng.queue_depth(), 16);
+        let snap = eng.run_epoch();
+        assert_eq!(snap.admitted, 8, "epoch batch caps admission");
+        assert_eq!(snap.queue_depth, 8);
+    }
+
+    #[test]
+    fn empty_epoch_is_empty() {
+        let mut eng = small_engine(false);
+        let snap = eng.run_epoch();
+        assert_eq!(snap.admitted, 0);
+        assert_eq!(snap.congestion, 0.0);
+        assert!(snap.routes.is_empty());
+        assert_eq!(eng.epochs_run(), 1);
+    }
+
+    #[test]
+    fn failures_invalidate_and_fall_back() {
+        let g = gen::cycle_graph(6);
+        let mut eng = Engine::new(
+            g,
+            EngineConfig {
+                sparsity: 4,
+                trees: 3,
+                epoch_batch: 4,
+                seed: 5,
+                ..EngineConfig::default()
+            },
+        );
+        eng.ingest(Request::unit(NodeId(0), NodeId(3)));
+        let warm = eng.run_epoch();
+        assert!(!warm.cache_hit);
+        // fail one cycle edge: the cached system (both directions around
+        // the cycle, sparsity up to 2) used it, so the entry dies
+        let invalidated = eng.fail_edges(&[EdgeId(0)]);
+        assert_eq!(invalidated, 1);
+        assert_eq!(eng.failed_edges(), &[EdgeId(0)]);
+        eng.ingest(Request::unit(NodeId(0), NodeId(3)));
+        let degraded = eng.run_epoch();
+        assert!(!degraded.cache_hit, "invalidated entry cannot hit");
+        assert!(degraded.congestion > 0.0);
+        // every published route avoids the failed edge
+        for r in &degraded.routes {
+            for (edges, _) in &r.paths {
+                assert!(!edges.contains(&EdgeId(0)));
+            }
+        }
+        eng.restore_all();
+        assert!(eng.failed_edges().is_empty());
+    }
+
+    #[test]
+    fn compare_fresh_records_baseline() {
+        let mut eng = small_engine(true);
+        for i in 0..4u32 {
+            eng.ingest(Request::unit(NodeId(i), NodeId(7 - i)));
+        }
+        let snap = eng.run_epoch();
+        let fresh = snap.fresh_congestion.expect("compare_fresh on");
+        assert!(fresh.is_finite() && fresh > 0.0);
+        // same optimizer, same instance family: within a loose factor
+        assert!(snap.congestion <= fresh * 3.0 + 1e-9);
+        assert!(fresh <= snap.congestion * 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn integral_mode_publishes_integral_rates() {
+        let g = gen::hypercube(3);
+        let mut eng = Engine::new(
+            g,
+            EngineConfig {
+                sparsity: 2,
+                trees: 3,
+                integral: true,
+                seed: 3,
+                ..EngineConfig::default()
+            },
+        );
+        for i in 0..4u32 {
+            eng.ingest(Request::unit(NodeId(i), NodeId(7 - i)));
+        }
+        let snap = eng.run_epoch();
+        assert!(snap.congestion >= 1.0 - 1e-9, "unit demands, integral MLU");
+        for r in &snap.routes {
+            let total: f64 = r.paths.iter().map(|&(_, w)| w).sum();
+            assert!((total - r.demand).abs() < 1e-9);
+            for &(_, w) in &r.paths {
+                assert!((w - w.round()).abs() < 1e-9, "integral rate");
+            }
+        }
+    }
+}

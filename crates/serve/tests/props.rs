@@ -1,0 +1,93 @@
+//! Property-based tests for the serving engine's core containment
+//! invariant: epochs answered from the cache never route outside the
+//! sampled path system.
+//!
+//! Failing cases are recorded in `props.proptest-regressions` (one
+//! deduplicated `cc <hash>` line per minimal counterexample) and re-run
+//! before new cases.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sor_graph::{gen, EdgeId, Graph, NodeId};
+use sor_serve::{Engine, EngineConfig, Request};
+use std::collections::BTreeSet;
+
+fn arb_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = (2.5 * (n as f64).ln() / n as f64).min(0.9);
+    gen::erdos_renyi_connected(n, p, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Semi-oblivious containment, online edition: whatever demand an
+    /// epoch admits, every published route is one of the sampled
+    /// system's paths for its pair — the engine re-optimizes *rates*,
+    /// never *paths*. Checked across cold (miss) and warm (hit) epochs.
+    #[test]
+    fn published_routes_stay_inside_sampled_system(
+        seed in 0u64..200,
+        n in 8usize..14,
+        sparsity in 1usize..4,
+        num_pairs in 2usize..5,
+    ) {
+        let g = arb_graph(n, seed);
+        let mut engine = Engine::new(g, EngineConfig {
+            sparsity,
+            trees: 3,
+            seed,
+            ..EngineConfig::default()
+        });
+        let mut pair_rng = StdRng::seed_from_u64(seed ^ 0xab);
+        let pairs: Vec<(NodeId, NodeId)> = (0..num_pairs)
+            .map(|_| {
+                let s = pair_rng.gen_range(0..n);
+                let mut t = pair_rng.gen_range(0..n - 1);
+                if t >= s {
+                    t += 1;
+                }
+                (NodeId::from_usize(s), NodeId::from_usize(t))
+            })
+            .collect();
+
+        // Two epochs over the same pairs: the first misses and samples,
+        // the second hits the cache. The invariant must hold for both.
+        for round in 0..2u32 {
+            for &(s, t) in &pairs {
+                engine.ingest(Request::unit(s, t));
+            }
+            let snap = engine.run_epoch();
+            prop_assert_eq!(snap.cache_hit, round == 1);
+            let system = engine.last_system().expect("epoch solved a system");
+            let system_edges: BTreeSet<EdgeId> = system
+                .pairs()
+                .flat_map(|(_, _, paths)| {
+                    paths.iter().flat_map(|p| p.edges().iter().copied())
+                })
+                .collect();
+            for route in &snap.routes {
+                let candidates: Vec<&[EdgeId]> = system
+                    .paths(route.s, route.t)
+                    .iter()
+                    .map(|p| p.edges())
+                    .collect();
+                prop_assert!(!candidates.is_empty(), "pair must be covered");
+                for (edges, rate) in &route.paths {
+                    prop_assert!(*rate > 0.0);
+                    prop_assert!(
+                        candidates.contains(&edges.as_slice()),
+                        "published path is not one of the sampled candidates"
+                    );
+                    for e in edges {
+                        prop_assert!(
+                            system_edges.contains(e),
+                            "published route uses edge {e:?} outside the sampled system"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

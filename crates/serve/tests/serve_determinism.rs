@@ -1,0 +1,157 @@
+//! The serving engine must be bit-deterministic for a fixed seed, and
+//! observability capture must never change what it publishes.
+//!
+//! Mirrors `tests/obs_determinism.rs` at the umbrella level: the full
+//! closed-loop workload (arrival process, epoch solves, failure
+//! schedule, recovery) runs twice with metric/span capture off and once
+//! with it on, and every published snapshot — routes, rates, congestion
+//! bits, cache/fallback accounting — must be identical across all three.
+//!
+//! The tests share the process-global metrics registry, so they
+//! serialize on a local mutex.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sor_graph::gen;
+use sor_serve::{run_workload, EngineConfig, EpochSnapshot, WorkloadConfig, WorkloadReport};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn run_once() -> WorkloadReport {
+    let g = gen::random_regular(20, 4, &mut StdRng::seed_from_u64(3));
+    let ecfg = EngineConfig {
+        sparsity: 3,
+        trees: 5,
+        epoch_batch: 24,
+        queue_bound: 48,
+        cache_capacity: 8,
+        compare_fresh: true,
+        seed: 7,
+        ..EngineConfig::default()
+    };
+    let wcfg = WorkloadConfig {
+        epochs: 6,
+        rate: 10,
+        patterns: 2,
+        pairs_per_pattern: 5,
+        fail_at: Some(3),
+        restore_after: 2,
+        seed: 7,
+    };
+    run_workload(&g, ecfg, &wcfg)
+}
+
+/// Everything a run decides, with floats pinned to their bit patterns
+/// so "deterministic" means *bit*-deterministic, not approximately so.
+#[derive(PartialEq, Debug)]
+struct RunBits {
+    epochs: Vec<EpochSnapshot>,
+    congestion_bits: Vec<u64>,
+    fresh_bits: Vec<Option<u64>>,
+    rate_bits: Vec<Vec<u64>>,
+    admitted: usize,
+    rejected: u64,
+    failures: Vec<(u64, u32)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+fn bits(report: &WorkloadReport) -> RunBits {
+    RunBits {
+        congestion_bits: report
+            .snapshots
+            .iter()
+            .map(|s| s.congestion.to_bits())
+            .collect(),
+        fresh_bits: report
+            .snapshots
+            .iter()
+            .map(|s| s.fresh_congestion.map(f64::to_bits))
+            .collect(),
+        rate_bits: report
+            .snapshots
+            .iter()
+            .map(|s| {
+                s.routes
+                    .iter()
+                    .flat_map(|r| r.paths.iter().map(|&(_, w)| w.to_bits()))
+                    .collect()
+            })
+            .collect(),
+        epochs: report.snapshots.clone(),
+        admitted: report.admitted,
+        rejected: report.rejected,
+        failures: report.failures.iter().map(|&(ep, e)| (ep, e.0)).collect(),
+        hits: report.cache.hits,
+        misses: report.cache.misses,
+        evictions: report.cache.evictions,
+        invalidations: report.cache.invalidations,
+    }
+}
+
+#[test]
+fn same_seed_same_snapshots() {
+    let _guard = serial();
+    sor_obs::set_enabled(false);
+    sor_obs::reset();
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(bits(&a), bits(&b), "two runs with the same seed diverged");
+}
+
+#[test]
+fn capture_does_not_change_published_routes() {
+    let _guard = serial();
+    sor_obs::set_enabled(false);
+    sor_obs::reset();
+    let plain = run_once();
+    sor_obs::set_enabled(true);
+    sor_obs::reset();
+    let instrumented = run_once();
+    sor_obs::set_enabled(false);
+    assert_eq!(
+        bits(&plain),
+        bits(&instrumented),
+        "enabling metric/span capture changed the serving output"
+    );
+}
+
+#[test]
+fn instrumented_run_records_serve_metrics() {
+    let _guard = serial();
+    sor_obs::set_enabled(true);
+    sor_obs::reset();
+    let report = run_once();
+    let snap = sor_obs::snapshot();
+    sor_obs::set_enabled(false);
+
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    assert_eq!(counter("serve/cache_hits"), report.cache.hits);
+    assert_eq!(counter("serve/cache_misses"), report.cache.misses);
+    assert_eq!(counter("serve/requests_admitted"), report.admitted as u64);
+    let depth = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "serve/queue_depth")
+        .expect("queue-depth histogram recorded");
+    assert_eq!(depth.count, report.snapshots.len() as u64);
+    assert!(
+        snap.spans
+            .iter()
+            .any(|s| s.path.last().is_some_and(|p| p == "serve/epoch")),
+        "no serve/epoch span recorded"
+    );
+}

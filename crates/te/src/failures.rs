@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use sor_core::sample::{demand_pairs, sample_k};
 use sor_core::SemiObliviousRouting;
 use sor_flow::{max_concurrent_flow, Demand, EdgeLoads};
-use sor_graph::{connected_without, EdgeId};
+use sor_graph::{bfs_path, connected_without, EdgeId, Graph, NodeId, Path};
 use sor_oblivious::routing::ObliviousRouting;
 use sor_oblivious::RaeckeRouting;
 
@@ -43,6 +43,39 @@ impl FailureResult {
     pub fn oblivious_ratio(&self) -> f64 {
         self.oblivious_mlu / self.opt_after.max(1e-12)
     }
+}
+
+/// Emergency reroute for a pair whose entire candidate set a failure
+/// destroyed: BFS shortest path on the survivor graph, re-traced onto
+/// *original* edge ids avoiding `failed` (a real deployment would install
+/// an emergency route the same way). Returns `None` when the failure
+/// disconnects the pair. Shared by the failure replay here and the online
+/// engine's degraded epochs (`sor-serve`).
+pub fn emergency_path(
+    g: &Graph,
+    survivor: &Graph,
+    failed: &[EdgeId],
+    a: NodeId,
+    b: NodeId,
+) -> Option<Path> {
+    let p = bfs_path(survivor, a, b)?;
+    // Translate the survivor-graph path back to original edge ids by
+    // re-tracing its node sequence on the original graph, avoiding
+    // failed edges.
+    let nodes = p.nodes().to_vec();
+    let mut edges = Vec::with_capacity(nodes.len().saturating_sub(1));
+    for w in nodes.windows(2) {
+        let e = g
+            .incident(w[0])
+            .iter()
+            .find(|&&(e, nb)| nb == w[1] && !failed.contains(&e))
+            .map(|&(e, _)| e)
+            // sor-check: allow(unwrap) — invariant stated in the expect message
+            .expect("survivor-graph edge exists in the original graph");
+        edges.push(e);
+    }
+    // sor-check: allow(unwrap) — invariant stated in the expect message
+    Some(Path::from_edges(g, nodes[0], edges).expect("re-traced path is valid"))
 }
 
 /// Run one failure experiment: install an `s`-sample of a Räcke routing,
@@ -103,26 +136,10 @@ pub fn failure_experiment(
     for &(a, b) in &pairs {
         if !survived.system().covers(a, b) {
             fallback_pairs += 1;
-            // sor-check: allow(unwrap) — invariant stated in the expect message
-            let p = sor_graph::bfs_path(&survivor_graph, a, b).expect("connected");
-            // Translate the survivor-graph path back to original edge ids
-            // by re-tracing its node sequence on the original graph,
-            // avoiding failed edges.
             let mut sys = survived.system().clone();
-            let nodes = p.nodes().to_vec();
-            let mut edges = Vec::with_capacity(nodes.len() - 1);
-            for w in nodes.windows(2) {
-                let e = g
-                    .incident(w[0])
-                    .iter()
-                    .find(|&&(e, nb)| nb == w[1] && !failed.contains(&e))
-                    .map(|&(e, _)| e)
-                    // sor-check: allow(unwrap) — invariant stated in the expect message
-                    .expect("edge exists in survivor graph");
-                edges.push(e);
-            }
-            // sor-check: allow(unwrap) — invariant stated in the expect message
-            let orig = sor_graph::Path::from_edges(g, nodes[0], edges).expect("valid path");
+            let orig = emergency_path(g, &survivor_graph, &failed, a, b)
+                // sor-check: allow(unwrap) — invariant stated in the expect message
+                .expect("failure set keeps the graph connected");
             sys.insert(a, b, orig);
             survived = SemiObliviousRouting::new(g.clone(), sys);
         }
@@ -146,22 +163,9 @@ pub fn failure_experiment(
             .collect();
         if surviving.is_empty() {
             // same emergency fallback as the semi-oblivious side
-            // sor-check: allow(unwrap) — invariant stated in the expect message
-            let p = sor_graph::bfs_path(&survivor_graph, a, b).expect("connected");
-            let nodes = p.nodes().to_vec();
-            let mut edges = Vec::with_capacity(nodes.len() - 1);
-            for w in nodes.windows(2) {
-                let e = g
-                    .incident(w[0])
-                    .iter()
-                    .find(|&&(e, nb)| nb == w[1] && !failed.contains(&e))
-                    .map(|&(e, _)| e)
-                    // sor-check: allow(unwrap) — invariant stated in the expect message
-                    .expect("edge exists");
-                edges.push(e);
-            }
-            // sor-check: allow(unwrap) — invariant stated in the expect message
-            let orig = sor_graph::Path::from_edges(g, nodes[0], edges).expect("valid");
+            let orig = emergency_path(g, &survivor_graph, &failed, a, b)
+                // sor-check: allow(unwrap) — invariant stated in the expect message
+                .expect("failure set keeps the graph connected");
             loads.add_path(&orig, d);
             continue;
         }

@@ -5,6 +5,7 @@
 //! sor eval  --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]
 //! sor sweep --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]
 //! sor sim   --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]
+//! sor serve --graph <spec> [--epochs E] [--rate R] [--patterns P] [--s K] [--seed N] …
 //! ```
 //!
 //! Graph specs: `hypercube:8`, `grid:5x5`, `expander:64x4`, `abilene`,
@@ -27,11 +28,12 @@ use semi_oblivious_routing::graph::{
 };
 use semi_oblivious_routing::oblivious::RaeckeRouting;
 use semi_oblivious_routing::sched::{try_simulate, Policy};
+use semi_oblivious_routing::serve;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  sor info    --graph <spec> [--seed N]\n  sor eval    --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor sweep   --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]\n  sor sim     --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor export  --graph <spec> [--s K] [--trees T] [--demand spec] [--seed N]\n  sor process --graph <spec> [--s K] [--tau T] [--demand spec] [--seed N]\nobservability (any subcommand):\n  --trace             print the phase-tree timing report to stderr\n  --metrics-out FILE  write the metrics snapshot (counters/histograms/spans) as JSON\n  --quiet             silence diagnostic logging"
+        "usage:\n  sor info    --graph <spec> [--seed N]\n  sor eval    --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor sweep   --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]\n  sor sim     --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor serve   --graph <spec> [--epochs E] [--rate R] [--patterns P] [--pattern-pairs K]\n              [--s K] [--trees T] [--eps E] [--batch B] [--queue-bound Q] [--cache-cap C]\n              [--fail-at E] [--restore-after R] [--compare-fresh] [--integral] [--seed N]\n  sor export  --graph <spec> [--s K] [--trees T] [--demand spec] [--seed N]\n  sor process --graph <spec> [--s K] [--tau T] [--demand spec] [--seed N]\nobservability (any subcommand):\n  --trace             print the phase-tree timing report to stderr\n  --metrics-out FILE  write the metrics snapshot (counters/histograms/spans) as JSON\n  --quiet             silence diagnostic logging"
     );
     exit(2)
 }
@@ -186,6 +188,94 @@ fn run(args: &[String]) {
             println!("  dilation      : {}", res.dilation);
             println!("  mean latency  : {:.3}", res.mean_latency().unwrap_or(0.0));
             println!("  max queue     : {}", res.max_queue);
+        }
+        "serve" => {
+            // Online engine: a closed-loop seeded workload over the epoch
+            // lifecycle (ingest → admit → solve on cached path systems →
+            // publish). Stdout is bit-deterministic for a fixed seed;
+            // wall-clock throughput goes to the (leveled) stderr log.
+            let ecfg = serve::EngineConfig {
+                sparsity: or_die(flag_parse(args, "--s", 3)),
+                trees: or_die(flag_parse(args, "--trees", 6)),
+                eps: or_die(flag_parse(args, "--eps", 0.2)),
+                epoch_batch: or_die(flag_parse(args, "--batch", 64)),
+                queue_bound: or_die(flag_parse(args, "--queue-bound", 256)),
+                cache_capacity: or_die(flag_parse(args, "--cache-cap", 32)),
+                integral: args.iter().any(|a| a == "--integral"),
+                compare_fresh: args.iter().any(|a| a == "--compare-fresh"),
+                seed,
+            };
+            let wcfg = serve::WorkloadConfig {
+                epochs: or_die(flag_parse(args, "--epochs", 8)),
+                rate: or_die(flag_parse(args, "--rate", 8)),
+                patterns: or_die(flag_parse(args, "--patterns", 3)),
+                pairs_per_pattern: or_die(flag_parse(args, "--pattern-pairs", 4)),
+                fail_at: flag_value(args, "--fail-at")
+                    .map(|v| or_die(v.parse().map_err(|_| format!("bad --fail-at '{v}'")))),
+                restore_after: or_die(flag_parse(args, "--restore-after", 2)),
+                seed,
+            };
+            println!(
+                "serve on {gspec}: {} epochs | rate {}/epoch | {} patterns x {} pairs | \
+                 s = {}, trees = {}",
+                wcfg.epochs,
+                wcfg.rate,
+                wcfg.patterns,
+                wcfg.pairs_per_pattern,
+                ecfg.sparsity,
+                ecfg.trees
+            );
+            let started = std::time::Instant::now();
+            let report: serve::WorkloadReport = serve::run_workload(&g, ecfg, &wcfg);
+            let elapsed = started.elapsed();
+            for s in &report.snapshots {
+                let hit = if s.admitted == 0 {
+                    "idle"
+                } else if s.cache_hit {
+                    "hit "
+                } else {
+                    "miss"
+                };
+                let fresh = s
+                    .fresh_congestion
+                    .map(|f| format!(" fresh={f:.3}"))
+                    .unwrap_or_default();
+                println!(
+                    "epoch {:>3}: admitted={:<3} {hit} cong={:.3}{fresh} fallback={} queue={}",
+                    s.epoch, s.admitted, s.congestion, s.fallback_pairs, s.queue_depth
+                );
+            }
+            let c = &report.cache;
+            println!("summary:");
+            println!(
+                "  admitted  : {} requests over {} epochs (rejected {})",
+                report.admitted,
+                report.snapshots.len(),
+                report.rejected
+            );
+            println!(
+                "  cache     : hits={} misses={} evictions={} invalidations={} entries={}",
+                c.hits, c.misses, c.evictions, c.invalidations, c.entries
+            );
+            println!("  mean cong : {:.3}", report.mean_congestion());
+            if let Some(r) = report.mean_fresh_ratio() {
+                println!("  vs fresh  : {r:.3}x (mean cached/fresh congestion)");
+            }
+            for &(epoch, e) in &report.failures {
+                println!("  failure   : epoch {epoch}, edge {}", e.0);
+            }
+            // Wall-clock throughput is run-dependent, so it goes to
+            // stderr (respecting --quiet) and stdout stays
+            // bit-deterministic for a fixed seed.
+            if !args.iter().any(|a| a == "--quiet") {
+                eprintln!(
+                    "serve throughput: {:.0} requests/s, {:.1} epochs/s ({} requests in {:.3}s)",
+                    report.admitted as f64 / elapsed.as_secs_f64().max(1e-9),
+                    report.snapshots.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+                    report.admitted,
+                    elapsed.as_secs_f64()
+                );
+            }
         }
         "eval" | "sweep" => {
             let eps: f64 = or_die(flag_parse(args, "--eps", 0.15));

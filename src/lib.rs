@@ -13,6 +13,7 @@
 //!   ([`sor_core`]),
 //! * [`sched`] — packet scheduling / completion time ([`sor_sched`]),
 //! * [`te`] — SMORE-style traffic engineering harness ([`sor_te`]),
+//! * [`serve`] — the online epoch-serving engine ([`sor_serve`]),
 //! * [`cli`] — graph/demand spec parsing for the `sor` binary.
 
 #![forbid(unsafe_code)]
@@ -26,4 +27,5 @@ pub use sor_hop as hop;
 pub use sor_oblivious as oblivious;
 pub use sor_obs as obs;
 pub use sor_sched as sched;
+pub use sor_serve as serve;
 pub use sor_te as te;
