@@ -7,6 +7,39 @@ cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
+# Optional ThreadSanitizer leg (nightly-only, allowed to fail — see the
+# `tsan` job in .github/workflows/ci.yml). SOR_TSAN=1 runs it after the
+# normal gate; SOR_TSAN_ONLY=1 runs it and exits, so the CI job doesn't
+# repeat the stable-toolchain work the `checks` job already did.
+run_tsan() {
+  echo "==> ThreadSanitizer (nightly, -Zsanitizer=thread)"
+  if ! cargo +nightly --version >/dev/null 2>&1; then
+    echo "tsan: no nightly toolchain installed; skipping"
+    return 0
+  fi
+  if ! rustup component list --toolchain nightly 2>/dev/null | grep -q "^rust-src (installed)"; then
+    echo "tsan: nightly rust-src component missing (-Zbuild-std needs it); skipping"
+    return 0
+  fi
+  local host
+  host="$(rustc -vV | sed -n 's/^host: //p')"
+  mkdir -p target/tsan
+  # TSan needs the sanitizer runtime in std, hence -Zbuild-std and an
+  # explicit target triple. The two suites under test are the ones that
+  # actually exercise cross-thread interleavings: the sharded path cache
+  # and the obs metrics registry.
+  RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -Zbuild-std --target "$host" \
+    -p sor-serve --test cache_concurrency \
+    -p sor-obs --test concurrency \
+    -- --test-threads=4 2>&1 | tee target/tsan/tsan.log
+}
+
+if [ "${SOR_TSAN_ONLY:-0}" = "1" ]; then
+  run_tsan
+  exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -15,6 +48,17 @@ cargo clippy --workspace --all-targets
 
 echo "==> sor-check (lexical rules + semantic pass, regression-only baseline gate)"
 cargo run -q -p sor-check -- --baseline check-baseline.json --fail-on-new
+
+echo "==> sor-check baseline drift gate (committed baseline must match a fresh write)"
+mkdir -p target/sor-check
+cargo run -q -p sor-check -- --write-baseline target/sor-check/fresh-baseline.json || true
+if ! diff -u check-baseline.json target/sor-check/fresh-baseline.json; then
+  echo "check-baseline.json is stale: a fresh --write-baseline differs from the"
+  echo "committed file. Either fix the findings or re-run"
+  echo "  cargo run -q -p sor-check -- --write-baseline check-baseline.json"
+  echo "and commit the result with a justification."
+  exit 1
+fi
 
 echo "==> sor-check SARIF report (artifact)"
 mkdir -p target/sor-check
@@ -52,5 +96,9 @@ cargo run -q --release -p sor-bench --bin perf -- \
   --report-md target/perf/perf-report.md \
   --trajectory BENCH_TRAJECTORY.jsonl
 cp BENCH_TRAJECTORY.jsonl target/perf/ 2>/dev/null || true
+
+if [ "${SOR_TSAN:-0}" = "1" ]; then
+  run_tsan
+fi
 
 echo "CI OK"

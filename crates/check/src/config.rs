@@ -29,6 +29,11 @@ pub struct Config {
     /// adjacency code and flagging it drowns the signal; the switch
     /// exists so an audit build can turn it on.
     pub panic_include_indexing: bool,
+    /// `[panics] index_crates`: crates whose indexing sites count as
+    /// panic sources even while the global `include_indexing` switch is
+    /// off — a per-crate opt-in for code (like the serving layer) where
+    /// an out-of-bounds panic would take down a long-lived process.
+    pub panic_index_crates: Vec<String>,
     /// `[determinism] order_crates`: crates where `HashMap`/`HashSet`
     /// iteration order is treated as observable output (samplers and
     /// solvers) and therefore flagged.
@@ -41,6 +46,19 @@ pub struct Config {
     /// `[dead-api] crates`: crates whose `pub` items are audited for
     /// having at least one reference from elsewhere in the workspace.
     pub dead_api_crates: Vec<String>,
+    /// `[concurrency] crates`: crates in scope for the lock-order,
+    /// held-lock and atomics rules (the crates that actually share
+    /// state across threads). Empty ⇒ those rules are skipped.
+    pub concurrency_crates: Vec<String>,
+    /// `[concurrency] expensive`: function names treated as expensive
+    /// or blocking (MWU solves, FRT builds, I/O, channel sends) by the
+    /// held-lock rule — calling one while a guard is live is flagged.
+    pub expensive_fns: Vec<String>,
+    /// `[concurrency] parallel_targets`: entry points slated for rayon
+    /// parallelization (plain `name` or `crate::name`); everything
+    /// reachable from them is audited for non-`Send` / interior-mutable
+    /// types by the rayon-readiness rule.
+    pub parallel_targets: Vec<String>,
 }
 
 /// A `check.toml` parse failure, with a 1-based line number.
@@ -141,6 +159,13 @@ impl Config {
                 }
                 _ => err("panics.include_indexing must be a bool".into()),
             },
+            ("panics", "index_crates") => match value {
+                Value::StrArray(v) => {
+                    self.panic_index_crates = v;
+                    Ok(())
+                }
+                _ => err("panics.index_crates must be an array".into()),
+            },
             ("determinism", "order_crates") => match value {
                 Value::StrArray(v) => {
                     self.order_crates = v;
@@ -161,6 +186,27 @@ impl Config {
                     Ok(())
                 }
                 _ => err("dead-api.crates must be an array".into()),
+            },
+            ("concurrency", "crates") => match value {
+                Value::StrArray(v) => {
+                    self.concurrency_crates = v;
+                    Ok(())
+                }
+                _ => err("concurrency.crates must be an array".into()),
+            },
+            ("concurrency", "expensive") => match value {
+                Value::StrArray(v) => {
+                    self.expensive_fns = v;
+                    Ok(())
+                }
+                _ => err("concurrency.expensive must be an array".into()),
+            },
+            ("concurrency", "parallel_targets") => match value {
+                Value::StrArray(v) => {
+                    self.parallel_targets = v;
+                    Ok(())
+                }
+                _ => err("concurrency.parallel_targets must be an array".into()),
             },
             _ => err(format!("unknown configuration key [{section}] {key}")),
         }
@@ -313,6 +359,11 @@ order_crates = ["sor-core"]
 
 [dead-api]
 crates = ["sor-graph"]
+
+[concurrency]
+crates = ["sor-core"]
+expensive = ["solve", "build"]
+parallel_targets = ["sample_k", "sor-graph::dijkstra"]
 "#;
 
     #[test]
@@ -323,6 +374,19 @@ crates = ["sor-graph"]
         assert!(!cfg.panic_include_indexing);
         assert_eq!(cfg.order_crates, vec!["sor-core"]);
         assert_eq!(cfg.dead_api_crates, vec!["sor-graph"]);
+        assert_eq!(cfg.concurrency_crates, vec!["sor-core"]);
+        assert_eq!(cfg.expensive_fns, vec!["solve", "build"]);
+        assert_eq!(
+            cfg.parallel_targets,
+            vec!["sample_k", "sor-graph::dijkstra"]
+        );
+    }
+
+    #[test]
+    fn panic_index_crates_parse() {
+        let cfg = Config::parse("[panics]\nindex_crates = [\"sor-serve\"]\n").expect("parse");
+        assert_eq!(cfg.panic_index_crates, vec!["sor-serve"]);
+        assert!(!cfg.panic_include_indexing);
     }
 
     #[test]

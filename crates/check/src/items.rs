@@ -862,6 +862,55 @@ fn collect_calls(item: &mut Item, s: &str, line: usize) {
     }
 }
 
+/// 1-based body span of every `fn` item with a body, as `(item index,
+/// opening-`{` line, closing-`}` line)`. Mirrors the context discipline
+/// of the main parse: `#[cfg(test)]` regions are skipped and a bodyless
+/// trait-method declaration (a `;` before any `{`) produces no span.
+/// The concurrency rules use this to scan guard scopes and atomic
+/// accesses with correct function attribution.
+pub fn body_spans(file: &SourceFile) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    let mut armed: Option<usize> = None; // fn item waiting for its `{`
+    let mut open: Option<(usize, usize, i32)> = None; // (item, start, depth at `{`)
+    let mut depth: i32 = 0;
+    for (idx, s) in file.stripped.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        let line_no = idx + 1;
+        if armed.is_none() && open.is_none() {
+            armed = file
+                .items
+                .iter()
+                .position(|it| it.kind == ItemKind::Fn && it.line == line_no);
+        }
+        for ch in s.chars() {
+            match ch {
+                '{' => {
+                    if let Some(item) = armed.take() {
+                        open = Some((item, line_no, depth));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some((item, start, fd)) = open {
+                        if depth <= fd {
+                            out.push((item, start, line_no));
+                            open = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if armed.is_some() && s.contains(';') {
+            armed = None; // bodyless declaration (trait method)
+        }
+    }
+    out
+}
+
 /// Tokens that declare a hash-ordered local on a `let` line.
 const HASH_CTOR_TOKENS: [&str; 4] = ["HashMap::", "HashSet::", ": HashMap<", ": HashSet<"];
 
@@ -1073,6 +1122,46 @@ mod tests {
             parse("fn real() {}\n#[cfg(test)]\nmod tests {\n    fn fake() { x.unwrap(); }\n}\n");
         assert_eq!(f.items.len(), 1);
         assert_eq!(f.items[0].name, "real");
+    }
+
+    #[test]
+    fn body_spans_cover_fn_bodies() {
+        let f = parse(
+            "pub fn one() {}\n\npub fn multi(\n    a: usize,\n) -> usize {\n    let b = a + 1;\n    b\n}\n\ntrait T {\n    fn decl(&self);\n}\n",
+        );
+        let spans = body_spans(&f);
+        // `one` opens and closes on line 1; `multi`'s body is lines 5–8;
+        // the bodyless trait declaration yields no span.
+        let one = f.items.iter().position(|i| i.name == "one").expect("one");
+        let multi = f
+            .items
+            .iter()
+            .position(|i| i.name == "multi")
+            .expect("multi");
+        assert!(spans.contains(&(one, 1, 1)), "{spans:?}");
+        assert!(spans.contains(&(multi, 5, 8)), "{spans:?}");
+        assert_eq!(spans.len(), 2, "{spans:?}");
+    }
+
+    #[test]
+    fn use_glob_binds_no_names() {
+        let f = parse("pub use sor_graph::*;\nuse sor_flow::{self, restricted::*};\n");
+        // a glob re-export records the crate but no leaf names, so name
+        // resolution falls through to the workspace tier instead of
+        // treating `*` as an identifier.
+        assert_eq!(f.uses[0].krate.as_deref(), Some("sor-graph"));
+        assert!(f.uses[0].names.is_empty(), "{:?}", f.uses[0].names);
+        assert_eq!(f.uses[1].krate.as_deref(), Some("sor-flow"));
+        assert!(f.uses[1].names.is_empty(), "{:?}", f.uses[1].names);
+    }
+
+    #[test]
+    fn use_rename_shadows_the_original_name() {
+        let f = parse("use sor_graph::shortest_path as sp;\nfn f() {\n    sp(1);\n}\n");
+        // only the rename is bound: the original name stays resolvable
+        // to a same-file/same-crate item if one exists.
+        assert_eq!(f.uses[0].names, vec!["sp".to_string()]);
+        assert!(f.items[0].calls.iter().any(|c| c.name == "sp"));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::Violation;
 
 /// Identifier and one-line description of every rule either pass can
 /// fire, in reporting order (used for SARIF rule metadata and `--help`).
-pub const RULE_DESCRIPTIONS: [(&str, &str); 11] = [
+pub const RULE_DESCRIPTIONS: [(&str, &str); 15] = [
     ("unwrap", "no .unwrap()/.expect()/panic! in library code"),
     (
         "lossy-cast",
@@ -54,6 +54,22 @@ pub const RULE_DESCRIPTIONS: [(&str, &str); 11] = [
     (
         "dead-api",
         "public items are referenced somewhere outside their crate",
+    ),
+    (
+        "lock-order",
+        "lock acquisition order forms a DAG across the call graph",
+    ),
+    (
+        "held-lock",
+        "no expensive or blocking calls while a lock guard is live",
+    ),
+    (
+        "atomics",
+        "atomic orderings are minimal, justified, and consistent per field",
+    ),
+    (
+        "rayon-ready",
+        "parallel-target call trees avoid non-Send and interior-mutable state",
     ),
 ];
 

@@ -1,0 +1,637 @@
+//! `lock-order`: the lock-acquisition-order graph must be a DAG.
+//!
+//! The shared [`Model`] extracts every `parking_lot`-style acquisition
+//! site (`.lock()`, argument-less `.read()`/`.write()`) from functions
+//! of the crates listed in `check.toml [concurrency] crates`, tracks
+//! each guard's *lexical* scope, and closes the set of locks each
+//! function may (transitively) acquire over the call graph. The
+//! lock-order rule then records an edge `A → B` whenever `B` can be
+//! acquired while a guard for `A` is live — either by a nested
+//! acquisition in the same body or through a call made under the guard
+//! — and reports a shortest witness cycle for every strongly-connected
+//! tangle, i.e. every potential deadlock.
+//!
+//! Guard-scope heuristics (documented over-approximations):
+//! - `let g = x.lock();` — live until the enclosing block closes or an
+//!   explicit `drop(g)`.
+//! - `for`/`while`/`if`/`match` header acquisitions — live until the
+//!   construct's block closes (matches the Rust 2021 `if let`/`match`
+//!   scrutinee temporary; plain-`if` conditions are over-approximated).
+//! - any other chained temporary — live until the statement's `;`.
+//!
+//! Lock identity is `{crate}/{receiver-field}` — `self.cache.lock()` in
+//! `sor-hop` is the lock `sor-hop/cache`. Sharded locks collapse onto
+//! one identity per field, so a self-edge means "acquired while a guard
+//! for the same lock (or a sibling shard) may be held".
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::config::Config;
+use crate::graph::{ItemGraph, Workspace};
+use crate::items::{body_spans, SourceFile};
+use crate::report::Finding;
+
+use super::allows;
+
+/// Acquisition tokens. `.read()`/`.write()` are matched only with empty
+/// argument lists, which filters out `io::Read`/`io::Write` calls.
+pub(crate) const ACQUIRE_TOKENS: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+/// Call names that are guard machinery, never callees of interest.
+pub(crate) const GUARD_CALLS: [&str; 4] = ["lock", "read", "write", "drop"];
+
+/// One lexical lock-acquisition site inside a function body.
+#[derive(Clone, Debug)]
+pub struct Acquire {
+    /// Lock identity, `{crate}/{receiver}`.
+    pub lock: String,
+    /// 1-based acquisition line.
+    pub line: usize,
+    /// Byte column of the acquisition token on that line.
+    pub col: usize,
+    /// 1-based last line on which the guard may still be live.
+    pub scope_end: usize,
+}
+
+/// Lock facts shared by the concurrency rules.
+#[derive(Debug)]
+pub struct Model {
+    /// `acquires[g]` — acquisition sites of `graph.fns[g]`, source order.
+    pub acquires: Vec<Vec<Acquire>>,
+    /// Locks function `g` may acquire, transitively over call edges.
+    pub reach: Vec<BTreeSet<String>>,
+    /// `graph.calls` filtered through the `[layers]` closure: name
+    /// resolution over-approximates at the workspace tier, but an edge
+    /// into a crate the caller may not even reference (e.g. an atomic
+    /// `.load(..)` resolving to another crate's `Config::load`) is an
+    /// artifact, not a call — the concurrency rules traverse this view.
+    pub calls: Vec<Vec<usize>>,
+}
+
+impl Model {
+    /// Extract acquisition sites and close them over the call graph.
+    pub fn build(ws: &Workspace, graph: &ItemGraph, cfg: &Config) -> Model {
+        let n = graph.fns.len();
+        let mut closures: BTreeMap<&str, Option<BTreeSet<String>>> = BTreeMap::new();
+        let calls: Vec<Vec<usize>> = graph
+            .calls
+            .iter()
+            .enumerate()
+            .map(|(g, cs)| {
+                let gk = ws.files[graph.fns[g].file].krate.as_str();
+                let allowed = closures
+                    .entry(gk)
+                    .or_insert_with(|| cfg.allowed_deps(gk).map(|v| v.into_iter().collect()));
+                cs.iter()
+                    .copied()
+                    .filter(|&k| {
+                        let kk = ws.files[graph.fns[k].file].krate.as_str();
+                        kk == gk || allowed.as_ref().is_none_or(|s| s.contains(kk))
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut acquires: Vec<Vec<Acquire>> = vec![Vec::new(); n];
+        if cfg.concurrency_crates.is_empty() {
+            return Model {
+                acquires,
+                reach: vec![BTreeSet::new(); n],
+                calls,
+            };
+        }
+        // (file, item) → 1-based body span, for audited crates only.
+        let mut span_of: BTreeMap<(usize, usize), (usize, usize)> = BTreeMap::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            if !cfg.concurrency_crates.iter().any(|c| c == &file.krate) {
+                continue;
+            }
+            for (item, open, close) in body_spans(file) {
+                span_of.insert((fi, item), (open, close));
+            }
+        }
+        for (g, fref) in graph.fns.iter().enumerate() {
+            if let Some(&(open, close)) = span_of.get(&(fref.file, fref.item)) {
+                acquires[g] = scan_body(&ws.files[fref.file], open, close);
+            }
+        }
+        // Fixpoint: reach[g] = direct(g) ∪ ⋃ reach[callee].
+        let mut reach: Vec<BTreeSet<String>> = acquires
+            .iter()
+            .map(|a| a.iter().map(|x| x.lock.clone()).collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            for g in 0..n {
+                for &k in &calls[g] {
+                    let add: Vec<String> = reach[k]
+                        .iter()
+                        .filter(|l| !reach[g].contains(l.as_str()))
+                        .cloned()
+                        .collect();
+                    if !add.is_empty() {
+                        changed = true;
+                        reach[g].extend(add);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Model {
+            acquires,
+            reach,
+            calls,
+        }
+    }
+}
+
+/// Per-line brace depth of `lines`: `(before, after)` each line.
+fn depths(lines: &[String]) -> (Vec<i32>, Vec<i32>) {
+    let mut before = Vec::with_capacity(lines.len());
+    let mut after = Vec::with_capacity(lines.len());
+    let mut d = 0i32;
+    for s in lines {
+        before.push(d);
+        for c in s.chars() {
+            match c {
+                '{' => d += 1,
+                '}' => d -= 1,
+                _ => {}
+            }
+        }
+        after.push(d);
+    }
+    (before, after)
+}
+
+/// Identifier ending at byte `pos` of `line`, skipping balanced
+/// `(..)`/`[..]` suffix groups, so `self.shards[i].lock()` and
+/// `shard_for(key).lock()` both yield the ident left of the group.
+pub(crate) fn receiver_before(line: &str, pos: usize) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut i = pos;
+    while i > 0 && (bytes[i - 1] == b')' || bytes[i - 1] == b']') {
+        let close = bytes[i - 1];
+        let open = if close == b')' { b'(' } else { b'[' };
+        let mut depth = 0i32;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            if bytes[j] == close {
+                depth += 1;
+            } else if bytes[j] == open {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        i = j;
+    }
+    let end = i;
+    while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        i -= 1;
+    }
+    if i < end {
+        Some(line[i..end].to_string())
+    } else {
+        None
+    }
+}
+
+/// Scan the 1-based body span `[open, close]` for acquisitions.
+fn scan_body(file: &SourceFile, open: usize, close: usize) -> Vec<Acquire> {
+    let (before, after) = depths(&file.stripped);
+    let mut out = Vec::new();
+    for idx in (open - 1)..close.min(file.stripped.len()) {
+        let s = file.stripped[idx].clone();
+        for tok in ACQUIRE_TOKENS {
+            for (pos, _) in s.match_indices(tok) {
+                let recv = receiver_before(&s, pos).or_else(|| {
+                    // `.lock()` opening a chain line: receiver is the
+                    // previous non-blank line's trailing identifier.
+                    file.stripped[(open - 1)..idx]
+                        .iter()
+                        .rev()
+                        .find(|l| !l.trim().is_empty())
+                        .and_then(|l| {
+                            let t = l.trim_end();
+                            receiver_before(t, t.len())
+                        })
+                });
+                let Some(recv) = recv else { continue };
+                let scope_end = guard_scope(file, &before, &after, idx, pos, close - 1);
+                out.push(Acquire {
+                    lock: format!("{}/{}", file.krate, recv),
+                    line: idx + 1,
+                    col: pos,
+                    scope_end: scope_end + 1,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// 0-based last line the guard acquired at `(l0, col)` may live.
+fn guard_scope(
+    file: &SourceFile,
+    before: &[i32],
+    after: &[i32],
+    l0: usize,
+    col: usize,
+    fn_close: usize,
+) -> usize {
+    let lines = &file.stripped;
+    let s = &lines[l0];
+    let t = s.trim_start();
+    let in_header = ["for ", "while ", "if ", "match "]
+        .iter()
+        .any(|k| t.starts_with(k))
+        && s.find('{').is_none_or(|b| b > col);
+    let base = before[l0];
+    if in_header {
+        // Until the construct's block closes (scrutinee-temporary rule).
+        let mut opened = after[l0] > base;
+        if !opened && s.contains('{') && s.contains('}') {
+            return l0;
+        }
+        for m in (l0 + 1)..=fn_close.min(lines.len().saturating_sub(1)) {
+            if before[m] > base || after[m] > base {
+                opened = true;
+            }
+            if opened && after[m] <= base {
+                return m;
+            }
+        }
+        return fn_close;
+    }
+    if let Some(rest) = t.strip_prefix("let ") {
+        // Named guard: until enclosing block close or explicit drop.
+        let name: String = rest
+            .trim_start()
+            .trim_start_matches("mut ")
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        for m in (l0 + 1)..=fn_close.min(lines.len().saturating_sub(1)) {
+            if !name.is_empty() && lines[m].contains(&format!("drop({name})")) {
+                return m;
+            }
+            if after[m] < base {
+                return m;
+            }
+        }
+        return fn_close;
+    }
+    // Chained temporary: until the statement's `;` or block close.
+    for m in l0..=fn_close.min(lines.len().saturating_sub(1)) {
+        let rest = if m == l0 { &lines[m][col..] } else { &lines[m] };
+        if rest.contains(';') {
+            return m;
+        }
+        if after[m] < base {
+            return m;
+        }
+    }
+    fn_close
+}
+
+/// Does `line` call `name` (a `name(` occurrence) strictly after `col`?
+pub(crate) fn call_after_col(line: &str, name: &str, col: usize) -> bool {
+    let pat = format!("{name}(");
+    for (pos, _) in line.match_indices(&pat) {
+        let boundary = pos == 0
+            || !line.as_bytes()[pos - 1].is_ascii_alphanumeric()
+                && line.as_bytes()[pos - 1] != b'_';
+        if boundary && pos > col {
+            return true;
+        }
+    }
+    false
+}
+
+/// One lock-order edge `from → to` with its establishing site.
+#[derive(Clone, Debug)]
+struct Edge {
+    /// Function (graph index) whose body establishes the edge.
+    g: usize,
+    /// 1-based line of the nested acquisition or the call under guard.
+    line: usize,
+    /// Call chain below `g` reaching the direct acquirer (interprocedural
+    /// edges only), as graph fn indices.
+    via: Vec<usize>,
+}
+
+/// Run the lock-order rule: every cycle in the edge set is a finding.
+pub fn run(ws: &Workspace, graph: &ItemGraph, model: &Model, cfg: &Config) -> Vec<Finding> {
+    if cfg.concurrency_crates.is_empty() {
+        return Vec::new();
+    }
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for (g, fref) in graph.fns.iter().enumerate() {
+        let file = &ws.files[fref.file];
+        let item = &file.items[fref.item];
+        for a in &model.acquires[g] {
+            // Nested acquisition in the same body.
+            for b in &model.acquires[g] {
+                if (b.line, b.col) > (a.line, a.col) && b.line <= a.scope_end {
+                    edges
+                        .entry((a.lock.clone(), b.lock.clone()))
+                        .or_insert(Edge {
+                            g,
+                            line: b.line,
+                            via: Vec::new(),
+                        });
+                }
+            }
+            // Locks reached through calls made while the guard is live.
+            for call in &item.calls {
+                if call.line < a.line
+                    || call.line > a.scope_end
+                    || GUARD_CALLS.contains(&call.name.as_str())
+                {
+                    continue;
+                }
+                if call.line == a.line
+                    && !call_after_col(&file.stripped[a.line - 1], &call.name, a.col)
+                {
+                    continue;
+                }
+                for &k in &model.calls[g] {
+                    let kf = graph.fns[k];
+                    if ws.files[kf.file].items[kf.item].name != call.name {
+                        continue;
+                    }
+                    for l2 in &model.reach[k] {
+                        let via = chain_to_lock(ws, graph, model, k, l2);
+                        edges.entry((a.lock.clone(), l2.clone())).or_insert(Edge {
+                            g,
+                            line: call.line,
+                            via,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Adjacency for cycle search.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (u, v) in edges.keys() {
+        adj.entry(u.as_str()).or_default().insert(v.as_str());
+    }
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (u, v) in edges.keys() {
+        let Some(cycle) = cycle_through(&adj, u, v) else {
+            continue;
+        };
+        // Canonical rotation: start at the smallest lock name.
+        let min = cycle
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.as_str())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let canon: Vec<String> = (0..cycle.len())
+            .map(|i| cycle[(min + i) % cycle.len()].clone())
+            .collect();
+        let key = canon.join("→");
+        if !seen.insert(key.clone()) {
+            continue;
+        }
+        // Edges of the cycle, wrapped.
+        let cycle_edges: Vec<(&String, &String, &Edge)> = (0..canon.len())
+            .map(|i| {
+                let a = &canon[i];
+                let b = &canon[(i + 1) % canon.len()];
+                (a, b, &edges[&(a.clone(), b.clone())])
+            })
+            .collect();
+        // An allow on any establishing site (or its fn decl) breaks the
+        // cycle for reporting purposes.
+        let allowed = cycle_edges.iter().any(|(_, _, e)| {
+            let fref = graph.fns[e.g];
+            let file = &ws.files[fref.file];
+            allows(file, e.line, "lock-order")
+                || allows(file, file.items[fref.item].line, "lock-order")
+        });
+        if allowed {
+            continue;
+        }
+        let witness: Vec<String> = cycle_edges
+            .iter()
+            .map(|(a, b, e)| {
+                let fref = graph.fns[e.g];
+                let file = &ws.files[fref.file];
+                let mut w = format!(
+                    "{a} → {b} in {} ({}:{})",
+                    graph.fn_path(ws, e.g),
+                    file.rel.display(),
+                    e.line
+                );
+                if !e.via.is_empty() {
+                    let chain: Vec<String> = e.via.iter().map(|&x| graph.fn_path(ws, x)).collect();
+                    w.push_str(&format!(" via {}", chain.join(" → ")));
+                }
+                w
+            })
+            .collect();
+        let (_, _, anchor) = cycle_edges[0];
+        let afile = &ws.files[graph.fns[anchor.g].file];
+        let message = if canon.len() == 1 {
+            format!(
+                "lock `{}` may be acquired while a guard for it is already live \
+                 in `{}` — parking_lot locks are not reentrant; order shard \
+                 indices or narrow the guard",
+                canon[0],
+                graph.fn_path(ws, anchor.g),
+            )
+        } else {
+            format!(
+                "inconsistent lock order: {} → {} — acquire these locks in one \
+                 global order or drop a guard before crossing",
+                canon.join(" → "),
+                canon[0],
+            )
+        };
+        out.push(Finding {
+            rule: "lock-order".into(),
+            file: afile.rel.clone(),
+            line: anchor.line,
+            symbol: key,
+            message,
+            witness,
+        });
+    }
+    out
+}
+
+/// Shortest path `v → … → u` in the lock graph, returned as the cycle
+/// node list `[u, v, …]` (without the closing repeat); `None` if `u` is
+/// unreachable from `v`. `u == v` is the self-edge cycle `[u]`.
+fn cycle_through(adj: &BTreeMap<&str, BTreeSet<&str>>, u: &str, v: &str) -> Option<Vec<String>> {
+    if u == v {
+        return Some(vec![u.to_string()]);
+    }
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(v);
+    while let Some(x) = queue.pop_front() {
+        if x == u {
+            let mut path = vec![u.to_string()];
+            let mut cur = u;
+            while cur != v {
+                cur = parent[cur];
+                path.push(cur.to_string());
+            }
+            path.reverse(); // v … u
+            let mut cycle = vec![u.to_string()];
+            cycle.extend(path.into_iter().take_while(|n| n != u));
+            return Some(cycle);
+        }
+        for &y in adj.get(x).into_iter().flatten() {
+            if y != v && !parent.contains_key(y) {
+                parent.insert(y, x);
+                queue.push_back(y);
+            }
+        }
+    }
+    None
+}
+
+/// BFS from `start` to the nearest function that *directly* acquires
+/// `lock`; returns the fn chain `[start, …, acquirer]`.
+pub(crate) fn chain_to_lock(
+    ws: &Workspace,
+    graph: &ItemGraph,
+    model: &Model,
+    start: usize,
+    lock: &str,
+) -> Vec<usize> {
+    let _ = ws;
+    let mut parent: Vec<Option<usize>> = vec![None; graph.fns.len()];
+    let mut visited = vec![false; graph.fns.len()];
+    let mut queue = VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start);
+    while let Some(x) = queue.pop_front() {
+        if model.acquires[x].iter().any(|a| a.lock == lock) {
+            let mut chain = vec![x];
+            let mut cur = x;
+            while let Some(p) = parent[cur] {
+                chain.push(p);
+                cur = p;
+            }
+            chain.reverse();
+            return chain;
+        }
+        for &y in &model.calls[x] {
+            if !visited[y] {
+                visited[y] = true;
+                parent[y] = Some(x);
+                queue.push_back(y);
+            }
+        }
+    }
+    vec![start]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use std::path::Path;
+
+    fn cfg() -> Config {
+        Config::parse("[concurrency]\ncrates = [\"sor-core\"]\n").expect("cfg")
+    }
+
+    fn ws(text: &str) -> Workspace {
+        let mut ws = Workspace::default();
+        ws.files.push(parse_file(
+            Path::new("crates/core/src/a.rs"),
+            "sor-core",
+            text,
+        ));
+        ws
+    }
+
+    #[test]
+    fn receiver_walks_back_over_groups() {
+        assert_eq!(
+            receiver_before("self.shards[i].lock()", 14).as_deref(),
+            Some("shards")
+        );
+        assert_eq!(receiver_before("x.lock()", 1).as_deref(), Some("x"));
+        assert_eq!(receiver_before(".lock()", 0), None);
+    }
+
+    #[test]
+    fn nested_guards_make_an_edge_and_inversion_cycles() {
+        let ws = ws(
+            "pub struct P;\nimpl P {\n    pub fn ab(&self) {\n        let a = self.alpha.lock();\n        let b = self.beta.lock();\n    }\n    pub fn ba(&self) {\n        let b = self.beta.lock();\n        let a = self.alpha.lock();\n    }\n}\n",
+        );
+        let graph = ItemGraph::build(&ws);
+        let model = Model::build(&ws, &graph, &cfg());
+        let fs = run(&ws, &graph, &model, &cfg());
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].symbol, "sor-core/alpha→sor-core/beta");
+        assert_eq!(fs[0].witness.len(), 2, "{:?}", fs[0].witness);
+    }
+
+    #[test]
+    fn drop_ends_the_guard_scope() {
+        let ws = ws(
+            "pub struct P;\nimpl P {\n    pub fn ok(&self) {\n        let a = self.alpha.lock();\n        drop(a);\n        let b = self.beta.lock();\n    }\n    pub fn ba(&self) {\n        let b = self.beta.lock();\n        let a = self.alpha.lock();\n    }\n}\n",
+        );
+        let graph = ItemGraph::build(&ws);
+        let model = Model::build(&ws, &graph, &cfg());
+        // beta → alpha exists but alpha → beta does not: no cycle.
+        assert!(run(&ws, &graph, &model, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn interprocedural_edge_through_a_call() {
+        let ws = ws(
+            "pub struct P;\nimpl P {\n    pub fn outer(&self) {\n        let b = self.beta.lock();\n        self.inner();\n    }\n    fn inner(&self) {\n        let a = self.alpha.lock();\n    }\n    pub fn ab(&self) {\n        let a = self.alpha.lock();\n        let b = self.beta.lock();\n    }\n}\n",
+        );
+        let graph = ItemGraph::build(&ws);
+        let model = Model::build(&ws, &graph, &cfg());
+        let fs = run(&ws, &graph, &model, &cfg());
+        // beta → alpha (via inner) plus alpha → beta (in `ab`): cycle.
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(
+            fs[0].witness.iter().any(|w| w.contains("via")),
+            "{:?}",
+            fs[0].witness
+        );
+    }
+
+    #[test]
+    fn temporary_guard_ends_at_statement() {
+        let ws = ws(
+            "pub struct P;\nimpl P {\n    pub fn seq(&self) {\n        self.alpha.lock().insert(1);\n        self.beta.lock().insert(2);\n    }\n    pub fn ba(&self) {\n        let b = self.beta.lock();\n        let a = self.alpha.lock();\n    }\n}\n",
+        );
+        let graph = ItemGraph::build(&ws);
+        let model = Model::build(&ws, &graph, &cfg());
+        // sequential temporaries create no alpha → beta edge: no cycle.
+        assert!(run(&ws, &graph, &model, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let mut w = Workspace::default();
+        w.files.push(parse_file(
+            Path::new("crates/te/src/a.rs"),
+            "sor-te",
+            "pub fn f(m: &M) {\n    let a = m.alpha.lock();\n    let b = m.beta.lock();\n}\n",
+        ));
+        let graph = ItemGraph::build(&w);
+        let model = Model::build(&w, &graph, &cfg());
+        assert!(model.acquires.iter().all(|a| a.is_empty()));
+    }
+}

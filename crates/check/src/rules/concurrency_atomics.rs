@@ -1,0 +1,279 @@
+//! `atomics`: orderings are minimal, justified, and consistent.
+//!
+//! Inventories every `Ordering::*` token in the audited crates
+//! (`check.toml [concurrency] crates`), attributes it to the atomic
+//! field it acts on (walking up a few lines for multi-line
+//! `compare_exchange` calls), and fires three variants:
+//!
+//! - **counter** — `fetch_add`/`fetch_sub` with anything stronger than
+//!   `Relaxed`: a pure counter needs no synchronization edges, so a
+//!   stronger ordering must carry an `allow(atomics)` justification.
+//! - **seqcst** — `SeqCst` on any other op: the lazy default is almost
+//!   never the *chosen* one; pick the weakest correct ordering or
+//!   justify it.
+//! - **mixed** — one field accessed with an inconsistent ordering set.
+//!   The classic release/acquire publish pair (`{Acquire, Release}`) is
+//!   exempt; anything else (e.g. a `Release` store polled by a
+//!   `Relaxed` load) gets a witness listing every access site.
+
+use std::collections::BTreeMap;
+
+use crate::config::Config;
+use crate::graph::Workspace;
+use crate::report::Finding;
+
+use super::allows;
+use super::concurrency::receiver_before;
+
+/// The five ordering variants, as they appear after `Ordering::`.
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Atomic op tokens, longest-match-first so `compare_exchange_weak`
+/// wins over `compare_exchange`.
+const OPS: [&str; 12] = [
+    ".compare_exchange_weak(",
+    ".compare_exchange(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".load(",
+    ".store(",
+    ".swap(",
+];
+
+/// Ops that implement pure counters.
+const COUNTER_OPS: [&str; 2] = [".fetch_add(", ".fetch_sub("];
+
+/// One `Ordering::*` use: which field, which op, which ordering, where.
+struct Site {
+    file: usize,
+    line: usize,
+    field: String,
+    op: String,
+    ordering: String,
+    counter: bool,
+}
+
+/// Run the atomics audit.
+pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    if cfg.concurrency_crates.is_empty() {
+        return Vec::new();
+    }
+    let mut sites: Vec<Site> = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if !cfg.concurrency_crates.iter().any(|c| c == &file.krate) {
+            continue;
+        }
+        for (idx, s) in file.stripped.iter().enumerate() {
+            if file.in_test[idx] || !s.contains("Ordering::") {
+                continue;
+            }
+            let orderings: Vec<&str> = s
+                .match_indices("Ordering::")
+                .filter_map(|(pos, _)| {
+                    let rest = &s[pos + "Ordering::".len()..];
+                    ORDERINGS.iter().find(|o| {
+                        rest.starts_with(**o)
+                            && !rest[o.len()..]
+                                .chars()
+                                .next()
+                                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+                    })
+                })
+                .copied()
+                .collect();
+            if orderings.is_empty() {
+                continue;
+            }
+            // The op may sit on this line or (multi-line call) above it.
+            let Some((op_idx, op, op_pos)) =
+                (0..=idx.min(5)).map(|back| idx - back).find_map(|j| {
+                    let l = &file.stripped[j];
+                    OPS.iter().find_map(|op| l.find(op).map(|p| (j, *op, p)))
+                })
+            else {
+                continue;
+            };
+            let field = receiver_before(&file.stripped[op_idx], op_pos)
+                .unwrap_or_else(|| "<unknown>".to_string());
+            for o in orderings {
+                sites.push(Site {
+                    file: fi,
+                    line: idx + 1,
+                    field: format!("{}/{}", file.krate, field),
+                    op: op.trim_start_matches('.').trim_end_matches('(').to_string(),
+                    ordering: o.to_string(),
+                    counter: COUNTER_OPS.contains(&op),
+                });
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    // Per-site variants.
+    for s in &sites {
+        let file = &ws.files[s.file];
+        if allows(file, s.line, "atomics") {
+            continue;
+        }
+        if s.counter && s.ordering != "Relaxed" {
+            out.push(Finding {
+                rule: "atomics".into(),
+                file: file.rel.clone(),
+                line: s.line,
+                symbol: format!("{}:{}:counter", s.field, s.op),
+                message: format!(
+                    "atomic counter `{}` uses Ordering::{} on .{}(..) — Relaxed \
+                     suffices for a pure counter; justify a stronger ordering with \
+                     allow(atomics)",
+                    s.field, s.ordering, s.op
+                ),
+                witness: Vec::new(),
+            });
+        } else if s.ordering == "SeqCst" {
+            out.push(Finding {
+                rule: "atomics".into(),
+                file: file.rel.clone(),
+                line: s.line,
+                symbol: format!("{}:{}:seqcst", s.field, s.op),
+                message: format!(
+                    "Ordering::SeqCst on `{}`.{}(..) — SeqCst-by-default is a smell; \
+                     pick the weakest correct ordering or justify with allow(atomics)",
+                    s.field, s.op
+                ),
+                witness: Vec::new(),
+            });
+        }
+    }
+    // Per-field consistency.
+    let mut by_field: BTreeMap<&str, Vec<&Site>> = BTreeMap::new();
+    for s in &sites {
+        by_field.entry(s.field.as_str()).or_default().push(s);
+    }
+    for (field, group) in by_field {
+        let mut set: Vec<&str> = group.iter().map(|s| s.ordering.as_str()).collect();
+        set.sort_unstable();
+        set.dedup();
+        if set.len() < 2 || set == ["Acquire", "Release"] {
+            continue;
+        }
+        let anchor = group[0];
+        let file = &ws.files[anchor.file];
+        if allows(file, anchor.line, "atomics") {
+            continue;
+        }
+        let witness: Vec<String> = group
+            .iter()
+            .map(|s| {
+                format!(
+                    "Ordering::{} on .{}(..) at {}:{}",
+                    s.ordering,
+                    s.op,
+                    ws.files[s.file].rel.display(),
+                    s.line
+                )
+            })
+            .collect();
+        out.push(Finding {
+            rule: "atomics".into(),
+            file: file.rel.clone(),
+            line: anchor.line,
+            symbol: format!("{field}:mixed"),
+            message: format!(
+                "atomic field `{}` is accessed with mixed orderings ({}) — unify \
+                 them or document the protocol with allow(atomics)",
+                field,
+                set.join(", ")
+            ),
+            witness,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use std::path::Path;
+
+    fn cfg() -> Config {
+        Config::parse("[concurrency]\ncrates = [\"sor-core\"]\n").expect("cfg")
+    }
+
+    fn findings(text: &str) -> Vec<Finding> {
+        let mut ws = Workspace::default();
+        ws.files.push(parse_file(
+            Path::new("crates/core/src/a.rs"),
+            "sor-core",
+            text,
+        ));
+        run(&ws, &cfg())
+    }
+
+    #[test]
+    fn relaxed_counter_is_clean() {
+        let fs =
+            findings("pub fn bump(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn seqcst_counter_fires_counter_variant() {
+        let fs = findings(
+            "pub fn bump(c: &AtomicU64) {\n    self.events.fetch_add(1, Ordering::SeqCst);\n}\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].symbol, "sor-core/events:fetch_add:counter");
+    }
+
+    #[test]
+    fn seqcst_load_fires_seqcst_variant() {
+        let fs = findings("pub fn f(c: &AtomicU64) -> u64 {\n    c.load(Ordering::SeqCst)\n}\n");
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].symbol, "sor-core/c:load:seqcst");
+    }
+
+    #[test]
+    fn mixed_orderings_fire_with_witness() {
+        let fs = findings(
+            "pub fn publish(f: &S) {\n    f.ready.store(1, Ordering::Release);\n}\npub fn poll(f: &S) -> u64 {\n    f.ready.load(Ordering::Relaxed)\n}\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].symbol, "sor-core/ready:mixed");
+        assert_eq!(fs[0].witness.len(), 2, "{:?}", fs[0].witness);
+    }
+
+    #[test]
+    fn release_acquire_pair_is_exempt() {
+        let fs = findings(
+            "pub fn publish(f: &S) {\n    f.ready.store(1, Ordering::Release);\n}\npub fn poll(f: &S) -> u64 {\n    f.ready.load(Ordering::Acquire)\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn multiline_compare_exchange_attributes_the_field() {
+        let fs = findings(
+            "pub fn cas(f: &S) {\n    f.epoch.compare_exchange(\n        0,\n        1,\n        Ordering::SeqCst,\n        Ordering::SeqCst,\n    );\n}\n",
+        );
+        // two SeqCst orderings, one op, one field — two seqcst sites
+        // (deduped to one fingerprint downstream) plus no mixed finding.
+        assert!(fs
+            .iter()
+            .all(|f| f.symbol == "sor-core/epoch:compare_exchange:seqcst"));
+        assert!(!fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn allow_at_site_suppresses() {
+        let fs = findings(
+            "pub fn f(c: &AtomicU64) -> u64 {\n    // sor-check: allow(atomics) — epoch flip must be totally ordered\n    c.load(Ordering::SeqCst)\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

@@ -1,0 +1,245 @@
+//! `held-lock`: no expensive or blocking work while a guard is live.
+//!
+//! For every acquisition site of the [`super::concurrency::Model`], any
+//! call made inside the guard's lexical scope that *is* — or whose call
+//! tree reaches — a function named in `check.toml [concurrency]
+//! expensive` is reported, with a panic-path-style shortest witness
+//! chain ending at the expensive call site. "Expensive" is the
+//! project's own list: MWU solves, FRT builds, file I/O, channel
+//! send/recv — anything that must never run under a shard lock.
+//!
+//! Nested *lock acquisitions* under a guard are deliberately not
+//! reported here: consistently-ordered nesting is legal, and the
+//! inconsistent kind is the `lock-order` rule's job.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::config::Config;
+use crate::graph::{ItemGraph, Workspace};
+use crate::report::Finding;
+
+use super::allows;
+use super::concurrency::{call_after_col, Model, GUARD_CALLS};
+
+/// An expensive call site: `(fn index, call name, 1-based line)`.
+type Site = (usize, String, usize);
+
+/// Run the held-lock rule.
+pub fn run(ws: &Workspace, graph: &ItemGraph, model: &Model, cfg: &Config) -> Vec<Finding> {
+    if cfg.concurrency_crates.is_empty() || cfg.expensive_fns.is_empty() {
+        return Vec::new();
+    }
+    let expensive = |name: &str| cfg.expensive_fns.iter().any(|e| e == name);
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (g, fref) in graph.fns.iter().enumerate() {
+        if model.acquires[g].is_empty() {
+            continue;
+        }
+        let file = &ws.files[fref.file];
+        let item = &file.items[fref.item];
+        if allows(file, item.line, "held-lock") {
+            continue;
+        }
+        for a in &model.acquires[g] {
+            if allows(file, a.line, "held-lock") {
+                continue;
+            }
+            for call in &item.calls {
+                if call.line < a.line
+                    || call.line > a.scope_end
+                    || GUARD_CALLS.contains(&call.name.as_str())
+                    || allows(file, call.line, "held-lock")
+                {
+                    continue;
+                }
+                if call.line == a.line
+                    && !call_after_col(&file.stripped[a.line - 1], &call.name, a.col)
+                {
+                    continue;
+                }
+                // Direct hit: the call itself is expensive (the name may
+                // resolve outside the workspace — std I/O, channels).
+                let reached: Option<(Vec<usize>, Site)> = if expensive(&call.name) {
+                    Some((vec![g], (g, call.name.clone(), call.line)))
+                } else {
+                    // Otherwise BFS each matching callee's subtree for
+                    // the nearest fn containing an expensive call.
+                    model.calls[g]
+                        .iter()
+                        .filter(|&&k| {
+                            let kf = graph.fns[k];
+                            ws.files[kf.file].items[kf.item].name == call.name
+                        })
+                        .filter_map(|&k| nearest_expensive(ws, graph, model, k, &expensive))
+                        .min_by_key(|(chain, _)| chain.len())
+                        .map(|(chain, site)| {
+                            let mut full = vec![g];
+                            full.extend(chain);
+                            (full, site)
+                        })
+                };
+                let Some((chain, (sf, ename, sline))) = reached else {
+                    continue;
+                };
+                let site_file = &ws.files[graph.fns[sf].file];
+                let symbol = format!("{}:{}->{}", graph.fn_path(ws, g), a.lock, ename);
+                if !seen.insert(symbol.clone()) {
+                    continue;
+                }
+                let mut witness: Vec<String> = chain
+                    .iter()
+                    .map(|&j| {
+                        let jf = graph.fns[j];
+                        format!(
+                            "{} ({}:{})",
+                            graph.fn_path(ws, j),
+                            ws.files[jf.file].rel.display(),
+                            ws.files[jf.file].items[jf.item].line
+                        )
+                    })
+                    .collect();
+                witness.push(format!(
+                    "{}(..) at {}:{}",
+                    ename,
+                    site_file.rel.display(),
+                    sline
+                ));
+                out.push(Finding {
+                    rule: "held-lock".into(),
+                    file: file.rel.clone(),
+                    line: call.line,
+                    symbol,
+                    message: format!(
+                        "`{}` holds `{}` (acquired {}:{}) across a call that reaches \
+                         expensive `{}` at {}:{} ({} call{} deep) — narrow the guard \
+                         or move the work outside it",
+                        item.name,
+                        a.lock,
+                        file.rel.display(),
+                        a.line,
+                        ename,
+                        site_file.rel.display(),
+                        sline,
+                        chain.len() - 1,
+                        if chain.len() == 2 { "" } else { "s" }
+                    ),
+                    witness,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// BFS from `start` to the nearest fn containing a call to an expensive
+/// name; returns the fn chain `[start, …]` plus the concrete site.
+fn nearest_expensive(
+    ws: &Workspace,
+    graph: &ItemGraph,
+    model: &Model,
+    start: usize,
+    expensive: &dyn Fn(&str) -> bool,
+) -> Option<(Vec<usize>, Site)> {
+    let mut parent: Vec<Option<usize>> = vec![None; graph.fns.len()];
+    let mut visited = vec![false; graph.fns.len()];
+    let mut queue = VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start);
+    while let Some(x) = queue.pop_front() {
+        let xf = graph.fns[x];
+        let hit = ws.files[xf.file].items[xf.item]
+            .calls
+            .iter()
+            .find(|c| expensive(&c.name));
+        if let Some(c) = hit {
+            let mut chain = vec![x];
+            let mut cur = x;
+            while let Some(p) = parent[cur] {
+                chain.push(p);
+                cur = p;
+            }
+            chain.reverse();
+            return Some((chain, (x, c.name.clone(), c.line)));
+        }
+        for &y in &model.calls[x] {
+            if !visited[y] {
+                visited[y] = true;
+                parent[y] = Some(x);
+                queue.push_back(y);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use std::path::Path;
+
+    fn cfg() -> Config {
+        Config::parse("[concurrency]\ncrates = [\"sor-core\"]\nexpensive = [\"solve\", \"send\"]\n")
+            .expect("cfg")
+    }
+
+    fn ws(text: &str) -> Workspace {
+        let mut ws = Workspace::default();
+        ws.files.push(parse_file(
+            Path::new("crates/core/src/a.rs"),
+            "sor-core",
+            text,
+        ));
+        ws
+    }
+
+    fn findings(text: &str) -> Vec<Finding> {
+        let w = ws(text);
+        let graph = ItemGraph::build(&w);
+        let model = Model::build(&w, &graph, &cfg());
+        run(&w, &graph, &model, &cfg())
+    }
+
+    #[test]
+    fn direct_expensive_call_under_guard() {
+        let fs = findings(
+            "pub struct P;\nimpl P {\n    pub fn f(&self, tx: &Tx) {\n        let g = self.state.lock();\n        tx.send(*g);\n    }\n}\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(
+            fs[0].symbol.ends_with("sor-core/state->send"),
+            "{}",
+            fs[0].symbol
+        );
+        assert_eq!(fs[0].witness.len(), 2, "{:?}", fs[0].witness);
+        assert!(fs[0].witness[1].contains("send(..)"), "{:?}", fs[0].witness);
+    }
+
+    #[test]
+    fn transitive_expensive_call_with_chain() {
+        let fs = findings(
+            "pub struct P;\nimpl P {\n    pub fn f(&self) {\n        let g = self.state.lock();\n        self.helper();\n    }\n    fn helper(&self) {\n        solve();\n    }\n}\nfn solve() {}\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        // f → helper → solve site
+        assert_eq!(fs[0].witness.len(), 3, "{:?}", fs[0].witness);
+        assert!(fs[0].witness[1].contains("helper"), "{:?}", fs[0].witness);
+    }
+
+    #[test]
+    fn call_after_guard_drop_is_clean() {
+        let fs = findings(
+            "pub struct P;\nimpl P {\n    pub fn f(&self, tx: &Tx) {\n        let g = self.state.lock();\n        drop(g);\n        tx.send(1);\n    }\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses() {
+        let fs = findings(
+            "pub struct P;\nimpl P {\n    pub fn f(&self, tx: &Tx) {\n        let g = self.state.lock();\n        // sor-check: allow(held-lock) — bounded channel, never blocks\n        tx.send(*g);\n    }\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

@@ -1,0 +1,229 @@
+//! `rayon-ready`: parallel targets must not reach non-`Send` state.
+//!
+//! ROADMAP item 2 commits the FRT embedding, `sample_k`, and the MWU
+//! oracle to a rayon scale-up. This rule walks the call tree of every
+//! function named in `check.toml [concurrency] parallel_targets`
+//! (plain `name` or `crate::name`) and reports each reachable use of a
+//! non-`Send`/interior-mutability token — `Rc`, `RefCell`, `Cell`,
+//! `UnsafeCell`, raw pointers, `thread_local!` — with the call chain
+//! from the target as witness. Burn these down *before* the
+//! `par_iter()` lands, when the fix is still a local refactor.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::config::Config;
+use crate::graph::{ItemGraph, Workspace};
+use crate::items::body_spans;
+use crate::report::Finding;
+
+use super::allows;
+use super::concurrency::Model;
+
+/// Non-`Send` / interior-mutability tokens: display name plus the
+/// patterns that evidence it (type position and constructor call).
+const NON_SEND: [(&str, &[&str]); 7] = [
+    ("Rc", &["Rc<", "Rc::new("]),
+    ("RefCell", &["RefCell<", "RefCell::new("]),
+    ("Cell", &["Cell<", "Cell::new("]),
+    ("UnsafeCell", &["UnsafeCell<", "UnsafeCell::new("]),
+    ("*mut", &["*mut "]),
+    ("*const", &["*const "]),
+    ("thread_local!", &["thread_local!"]),
+];
+
+/// Does `line` contain `pat` with a non-identifier left boundary (so
+/// `Arc<` never matches `Rc<` and `RefCell<` never matches `Cell<`)?
+fn has_token(line: &str, pat: &str) -> bool {
+    for (pos, _) in line.match_indices(pat) {
+        let ok = pos == 0 || {
+            let b = line.as_bytes()[pos - 1];
+            !b.is_ascii_alphanumeric() && b != b'_'
+        };
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Run the rayon-readiness audit.
+pub fn run(ws: &Workspace, graph: &ItemGraph, model: &Model, cfg: &Config) -> Vec<Finding> {
+    if cfg.parallel_targets.is_empty() {
+        return Vec::new();
+    }
+    // (file, item) → 1-based body span, built lazily per visited file.
+    let mut spans: BTreeMap<usize, BTreeMap<usize, (usize, usize)>> = BTreeMap::new();
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<(usize, usize, &str)> = BTreeSet::new();
+    for spec in &cfg.parallel_targets {
+        let (kspec, name) = match spec.split_once("::") {
+            Some((k, n)) => (Some(k), n),
+            None => (None, spec.as_str()),
+        };
+        let starts: Vec<usize> = graph
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, fref)| {
+                let file = &ws.files[fref.file];
+                file.items[fref.item].name == name && kspec.is_none_or(|k| file.krate == k)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        // BFS over the call tree, remembering parents for the witness.
+        let mut parent: Vec<Option<usize>> = vec![None; graph.fns.len()];
+        let mut visited = vec![false; graph.fns.len()];
+        let mut queue = VecDeque::new();
+        for &s in &starts {
+            visited[s] = true;
+            queue.push_back(s);
+        }
+        while let Some(x) = queue.pop_front() {
+            let fref = graph.fns[x];
+            let file = &ws.files[fref.file];
+            let item = &file.items[fref.item];
+            let span = spans
+                .entry(fref.file)
+                .or_insert_with(|| {
+                    body_spans(file)
+                        .into_iter()
+                        .map(|(i, o, c)| (i, (o, c)))
+                        .collect()
+                })
+                .get(&fref.item)
+                .copied();
+            // Scan the signature line plus every body line.
+            let mut hits: Vec<(usize, &str)> = Vec::new();
+            for (display, pats) in NON_SEND {
+                if pats.iter().any(|p| has_token(&item.signature, p)) {
+                    hits.push((item.line, display));
+                }
+                if let Some((open, close)) = span {
+                    for idx in (open - 1)..close.min(file.stripped.len()) {
+                        if pats.iter().any(|p| has_token(&file.stripped[idx], p)) {
+                            hits.push((idx + 1, display));
+                        }
+                    }
+                }
+            }
+            for (line, display) in hits {
+                if !reported.insert((fref.file, line, display)) {
+                    continue; // first target wins
+                }
+                if allows(file, line, "rayon-ready") || allows(file, item.line, "rayon-ready") {
+                    continue;
+                }
+                // Chain target → … → x.
+                let mut chain = vec![x];
+                let mut cur = x;
+                while let Some(p) = parent[cur] {
+                    chain.push(p);
+                    cur = p;
+                }
+                chain.reverse();
+                let mut witness: Vec<String> = chain
+                    .iter()
+                    .map(|&j| {
+                        let jf = graph.fns[j];
+                        format!(
+                            "{} ({}:{})",
+                            graph.fn_path(ws, j),
+                            ws.files[jf.file].rel.display(),
+                            ws.files[jf.file].items[jf.item].line
+                        )
+                    })
+                    .collect();
+                witness.push(format!("{} at {}:{}", display, file.rel.display(), line));
+                out.push(Finding {
+                    rule: "rayon-ready".into(),
+                    file: file.rel.clone(),
+                    line,
+                    symbol: format!("{}:{}", graph.fn_path(ws, x), display),
+                    message: format!(
+                        "`{}`, reachable from parallel target `{}`, uses non-Send/\
+                         interior-mutable `{}` — replace it with Send-safe state \
+                         before the rayon scale-up",
+                        graph.fn_path(ws, x),
+                        spec,
+                        display
+                    ),
+                    witness,
+                });
+            }
+            for &y in &model.calls[x] {
+                if !visited[y] {
+                    visited[y] = true;
+                    parent[y] = Some(x);
+                    queue.push_back(y);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use std::path::Path;
+
+    fn cfg(targets: &str) -> Config {
+        Config::parse(&format!(
+            "[concurrency]\ncrates = [\"sor-core\"]\nparallel_targets = [{targets}]\n"
+        ))
+        .expect("cfg")
+    }
+
+    fn ws(text: &str) -> Workspace {
+        let mut ws = Workspace::default();
+        ws.files.push(parse_file(
+            Path::new("crates/core/src/a.rs"),
+            "sor-core",
+            text,
+        ));
+        ws
+    }
+
+    fn run_on(w: &Workspace, cfg: &Config) -> Vec<Finding> {
+        let graph = ItemGraph::build(w);
+        let model = Model::build(w, &graph, cfg);
+        run(w, &graph, &model, cfg)
+    }
+
+    #[test]
+    fn reachable_refcell_is_reported_with_chain() {
+        let w = ws(
+            "pub fn entry(n: u64) -> u64 {\n    helper(n)\n}\nfn helper(n: u64) -> u64 {\n    let cell: Rc<RefCell<u64>> = Rc::new(RefCell::new(n));\n    *cell.borrow()\n}\n",
+        );
+        let fs = run_on(&w, &cfg("\"entry\""));
+        // Rc and RefCell on the same line: two findings, shared chain.
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs.iter().any(|f| f.symbol.ends_with(":Rc")), "{fs:?}");
+        assert!(fs.iter().any(|f| f.symbol.ends_with(":RefCell")), "{fs:?}");
+        let f = &fs[0];
+        assert_eq!(f.witness.len(), 3, "{:?}", f.witness);
+        assert!(f.witness[0].contains("entry"), "{:?}", f.witness);
+        assert!(f.witness[1].contains("helper"), "{:?}", f.witness);
+    }
+
+    #[test]
+    fn arc_does_not_match_rc() {
+        let w =
+            ws("pub fn entry(n: u64) -> u64 {\n    let a: Arc<u64> = Arc::new(n);\n    *a\n}\n");
+        assert!(run_on(&w, &cfg("\"entry\"")).is_empty());
+    }
+
+    #[test]
+    fn crate_qualified_target_scopes_the_start() {
+        let w = ws("pub fn entry() {\n    let c = Cell::new(1);\n}\n");
+        assert!(run_on(&w, &cfg("\"sor-graph::entry\"")).is_empty());
+        assert_eq!(run_on(&w, &cfg("\"sor-core::entry\"")).len(), 1);
+    }
+
+    #[test]
+    fn unreachable_code_is_not_scanned() {
+        let w = ws("pub fn entry() {}\nfn lonely() {\n    let c = Cell::new(1);\n}\n");
+        assert!(run_on(&w, &cfg("\"entry\"")).is_empty());
+    }
+}

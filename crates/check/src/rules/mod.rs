@@ -7,11 +7,18 @@
 //! | `unseeded-rng` | functions constructing an RNG take a seed/`Rng` parameter |
 //! | `hash-order` | no `HashMap`/`HashSet` iteration order observable in sampler/solver code |
 //! | `dead-api` | `pub` items are referenced somewhere outside their own crate |
+//! | `lock-order` | lock acquisitions form a DAG across the call graph |
+//! | `held-lock` | no expensive/blocking calls while a guard is live |
+//! | `atomics` | atomic orderings are minimal, justified, consistent |
+//! | `rayon-ready` | parallel targets reach no non-`Send` state |
 //!
 //! Every rule honors the same `sor-check: allow(<id>)` comment
-//! mechanism as the lexical pass (same line or the line directly
-//! above), and anything deliberately tolerated long-term goes in
-//! `check-baseline.json` instead.
+//! mechanism as the lexical pass (same line, the line directly above,
+//! or the declaration line of the owning item) — but unlike the lexical
+//! pass, a semantic allow is valid only when it carries a justification
+//! string after the closing parenthesis (`// sor-check: allow(id) —
+//! reason`). A bare allow is ignored. Anything deliberately tolerated
+//! long-term goes in `check-baseline.json` instead.
 
 use crate::config::Config;
 use crate::graph::{ItemGraph, Workspace};
@@ -19,6 +26,10 @@ use crate::items::SourceFile;
 use crate::parse_allow_ids;
 use crate::report::Finding;
 
+pub mod concurrency;
+pub mod concurrency_atomics;
+pub mod concurrency_held;
+pub mod concurrency_rayon;
 pub mod dead_api;
 pub mod determinism;
 pub mod layering;
@@ -27,31 +38,88 @@ pub mod panics;
 /// Run every semantic rule over a loaded workspace.
 pub fn run_semantic(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
     let graph = ItemGraph::build(ws);
+    let model = concurrency::Model::build(ws, &graph, cfg);
     let mut out = layering::run(ws, cfg);
     out.extend(panics::run(ws, &graph, cfg));
     out.extend(determinism::run(ws, cfg));
     out.extend(dead_api::run(ws, cfg));
+    out.extend(concurrency::run(ws, &graph, &model, cfg));
+    out.extend(concurrency_held::run(ws, &graph, &model, cfg));
+    out.extend(concurrency_atomics::run(ws, cfg));
+    out.extend(concurrency_rayon::run(ws, &graph, &model, cfg));
     out
 }
 
-/// Does line `line_no` (1-based) of `file` carry an allowlist comment
-/// for rule `id`, on the same line, the line directly above, or as a
-/// file-wide `allow-file`?
+/// Does the text after `marker`'s closing parenthesis on `line` carry a
+/// justification — at least three alphanumeric characters of prose?
+/// `// sor-check: allow(atomics) — epoch flip needs total order` does;
+/// a bare `// sor-check: allow(atomics)` does not.
+fn justified(line: &str, marker: &str) -> bool {
+    let Some(pos) = line.find(marker) else {
+        return false;
+    };
+    let rest = &line[pos + marker.len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    rest[close + 1..]
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .take(3)
+        .count()
+        >= 3
+}
+
+/// Does line `line_no` (1-based) of `file` carry a *justified*
+/// allowlist comment for rule `id` — on the same line, the line
+/// directly above, or as a file-wide `allow-file`?
 pub(crate) fn allows(file: &SourceFile, line_no: usize, id: &str) -> bool {
     let idx = line_no.saturating_sub(1);
-    let at = |i: usize| -> bool {
-        file.raw.get(i).is_some_and(|l| {
-            parse_allow_ids(l, "sor-check: allow(")
-                .iter()
-                .any(|a| a == id)
-        })
+    let hit = |l: &str, marker: &str| -> bool {
+        parse_allow_ids(l, marker).iter().any(|a| a == id) && justified(l, marker)
     };
+    let at = |i: usize| -> bool { file.raw.get(i).is_some_and(|l| hit(l, "sor-check: allow(")) };
     if at(idx) || (idx > 0 && at(idx - 1)) {
         return true;
     }
-    file.raw.iter().any(|l| {
-        parse_allow_ids(l, "sor-check: allow-file(")
-            .iter()
-            .any(|a| a == id)
-    })
+    file.raw.iter().any(|l| hit(l, "sor-check: allow-file("))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use std::path::Path;
+
+    fn file(text: &str) -> SourceFile {
+        parse_file(Path::new("crates/core/src/a.rs"), "sor-core", text)
+    }
+
+    #[test]
+    fn justified_allow_is_honored() {
+        let f = file(
+            "// sor-check: allow(lock-order) — shards are index-ordered by construction\nfn f() {}\n",
+        );
+        assert!(allows(&f, 2, "lock-order"));
+        assert!(!allows(&f, 2, "held-lock"));
+    }
+
+    #[test]
+    fn bare_allow_is_ignored() {
+        let f = file("// sor-check: allow(lock-order)\nfn f() {}\n");
+        assert!(!allows(&f, 2, "lock-order"));
+        // trailing punctuation alone is not a justification
+        let g = file("// sor-check: allow(lock-order) --\nfn f() {}\n");
+        assert!(!allows(&g, 2, "lock-order"));
+    }
+
+    #[test]
+    fn allow_file_requires_justification_too() {
+        let bare = file("// sor-check: allow-file(atomics)\nfn f() {}\n");
+        assert!(!allows(&bare, 2, "atomics"));
+        let just = file(
+            "// sor-check: allow-file(atomics) — generated table, audited manually\nfn f() {}\n",
+        );
+        assert!(allows(&just, 2, "atomics"));
+    }
 }

@@ -37,7 +37,9 @@ pub fn run(ws: &Workspace, graph: &ItemGraph, cfg: &Config) -> Vec<Finding> {
                 .panics
                 .iter()
                 .filter(|site| {
-                    (site.kind != PanicKind::Indexing || cfg.panic_include_indexing)
+                    (site.kind != PanicKind::Indexing
+                        || cfg.panic_include_indexing
+                        || cfg.panic_index_crates.iter().any(|c| c == &file.krate))
                         && !allows(file, site.line, "panic-path")
                 })
                 .collect()

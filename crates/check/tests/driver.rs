@@ -95,6 +95,10 @@ fn semantic_rules_all_fire_on_bad_ws() {
         "unseeded-rng",
         "hash-order",
         "dead-api",
+        "lock-order",
+        "held-lock",
+        "atomics",
+        "rayon-ready",
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),
@@ -134,6 +138,152 @@ fn layering_violation_names_the_illegal_edge() {
 fn clean_fixture_has_no_semantic_findings() {
     let findings = analyze_workspace(&fixture("clean_ws")).expect("analyze clean_ws");
     assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn lock_order_reports_the_seeded_inversion_verbatim() {
+    let findings = analyze_workspace(&fixture("bad_ws")).expect("analyze bad_ws");
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "lock-order")
+        .expect("lock-order finding");
+    assert_eq!(f.symbol, "sor-core/alpha→sor-core/beta");
+    assert_eq!(
+        f.witness,
+        vec![
+            "sor-core/alpha → sor-core/beta in sor-core::conc::Pair::lock_ab \
+             (crates/core/src/conc.rs:17)"
+                .to_string(),
+            "sor-core/beta → sor-core/alpha in sor-core::conc::Pair::lock_ba \
+             (crates/core/src/conc.rs:25) via sor-core::conc::Pair::alpha_only"
+                .to_string(),
+        ],
+        "{:?}",
+        f.witness
+    );
+    assert!(
+        f.message
+            .contains("sor-core/alpha → sor-core/beta → sor-core/alpha"),
+        "{}",
+        f.message
+    );
+}
+
+#[test]
+fn held_lock_reports_the_guarded_solve_verbatim() {
+    let findings = analyze_workspace(&fixture("bad_ws")).expect("analyze bad_ws");
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "held-lock")
+        .expect("held-lock finding");
+    assert_eq!(
+        f.symbol,
+        "sor-core::conc::Pair::solve_under_lock:sor-core/alpha->expensive_solve"
+    );
+    assert_eq!(
+        f.witness,
+        vec![
+            "sor-core::conc::Pair::solve_under_lock (crates/core/src/conc.rs:34)".to_string(),
+            "expensive_solve(..) at crates/core/src/conc.rs:36".to_string(),
+        ],
+        "{:?}",
+        f.witness
+    );
+}
+
+#[test]
+fn atomics_audit_reports_counter_seqcst_and_mixed() {
+    let findings = analyze_workspace(&fixture("bad_ws")).expect("analyze bad_ws");
+    let symbols: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.rule == "atomics")
+        .map(|f| f.symbol.as_str())
+        .collect();
+    for expected in [
+        "sor-core/events:fetch_add:counter",
+        "sor-core/ready:load:seqcst",
+        "sor-core/events:mixed",
+        "sor-core/ready:mixed",
+    ] {
+        assert!(
+            symbols.contains(&expected),
+            "{expected} missing: {symbols:?}"
+        );
+    }
+    let mixed = findings
+        .iter()
+        .find(|f| f.symbol == "sor-core/ready:mixed")
+        .expect("mixed finding");
+    assert_eq!(
+        mixed.witness,
+        vec![
+            "Ordering::Release on .store(..) at crates/core/src/conc.rs:66".to_string(),
+            "Ordering::Relaxed on .load(..) at crates/core/src/conc.rs:71".to_string(),
+            "Ordering::SeqCst on .load(..) at crates/core/src/conc.rs:76".to_string(),
+        ],
+        "{:?}",
+        mixed.witness
+    );
+}
+
+#[test]
+fn rayon_ready_reports_the_reachable_refcell_verbatim() {
+    let findings = analyze_workspace(&fixture("bad_ws")).expect("analyze bad_ws");
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "rayon-ready" && f.symbol.ends_with(":RefCell"))
+        .expect("rayon-ready RefCell finding");
+    assert_eq!(
+        f.witness,
+        vec![
+            "sor-core::conc::par_entry (crates/core/src/conc.rs:81)".to_string(),
+            "sor-core::conc::shared_cell (crates/core/src/conc.rs:86)".to_string(),
+            "RefCell at crates/core/src/conc.rs:87".to_string(),
+        ],
+        "{:?}",
+        f.witness
+    );
+    // Rc on the same line is reported separately.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "rayon-ready" && f.symbol.ends_with(":Rc")),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn sarif_reports_the_two_mutex_inversion() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sor-check"))
+        .arg(fixture("bad_ws"))
+        .arg("--no-baseline")
+        .arg("--format")
+        .arg("sarif")
+        .output()
+        .expect("sarif run");
+    let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("stdout is valid JSON");
+    let results = doc.get("runs").and_then(|r| r.as_arr()).expect("runs")[0]
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .expect("results array");
+    let lock = results
+        .iter()
+        .find(|r| r.get("ruleId").and_then(|id| id.as_str()) == Some("lock-order"))
+        .expect("lock-order SARIF result");
+    let msg = lock
+        .get("message")
+        .and_then(|m| m.get("text"))
+        .and_then(|t| t.as_str())
+        .expect("message text");
+    // The seeded two-mutex inversion, witness folded into the message.
+    assert!(
+        msg.contains("sor-core/alpha → sor-core/beta → sor-core/alpha"),
+        "{msg}"
+    );
+    assert!(
+        msg.contains("via sor-core/alpha → sor-core/beta in"),
+        "{msg}"
+    );
 }
 
 #[test]

@@ -1,0 +1,89 @@
+//! Concurrency-rule seeds: a two-mutex inversion across the call
+//! graph, an expensive solve under a live guard, noisy atomics, and a
+//! non-Send value reachable from a parallel target.
+
+/// Two locks acquired in both orders across the call graph.
+pub struct Pair {
+    /// first lock
+    pub alpha: Mutex<u64>,
+    /// second lock
+    pub beta: Mutex<u64>,
+}
+
+impl Pair {
+    /// Acquires alpha then beta directly.
+    pub fn lock_ab(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    /// Acquires beta, then re-enters alpha through a helper: the
+    /// inversion closing the lock-order cycle.
+    pub fn lock_ba(&self) -> u64 {
+        let b = self.beta.lock();
+        *b + self.alpha_only()
+    }
+
+    /// Acquires alpha alone.
+    fn alpha_only(&self) -> u64 {
+        *self.alpha.lock()
+    }
+
+    /// Runs the expensive solver while holding alpha.
+    pub fn solve_under_lock(&self) -> u64 {
+        let a = self.alpha.lock();
+        *a + expensive_solve()
+    }
+}
+
+/// Deliberately expensive solver stub, named in `[concurrency] expensive`.
+pub fn expensive_solve() -> u64 {
+    7
+}
+
+/// Atomic fields exercised with deliberately noisy orderings.
+pub struct Stats {
+    /// event counter
+    pub events: AtomicU64,
+    /// readiness flag
+    pub ready: AtomicU64,
+}
+
+impl Stats {
+    /// Bumps the counter with SeqCst: the counter variant.
+    pub fn bump(&self) {
+        self.events.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Reads the counter relaxed — mixes orderings on `events`.
+    pub fn total(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Publishes readiness with Release.
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+
+    /// Polls readiness relaxed — a broken publish/poll pair.
+    pub fn poll(&self) -> u64 {
+        self.ready.load(Ordering::Relaxed)
+    }
+
+    /// Reads readiness with SeqCst: the seqcst variant.
+    pub fn snapshot(&self) -> u64 {
+        self.ready.load(Ordering::SeqCst)
+    }
+}
+
+/// Parallel entry point named in `[concurrency] parallel_targets`.
+pub fn par_entry(n: u64) -> u64 {
+    shared_cell(n)
+}
+
+/// Uses interior mutability that is not Send.
+fn shared_cell(n: u64) -> u64 {
+    let cell: Rc<RefCell<u64>> = Rc::new(RefCell::new(n));
+    *cell.borrow()
+}

@@ -56,7 +56,7 @@ pub fn bfs_path(g: &Graph, s: NodeId, t: NodeId) -> Option<Path> {
     let mut rev_edges = Vec::new();
     let mut cur = t;
     while cur != s {
-        // sor-check: allow(unwrap) — invariant stated in the expect message
+        // sor-check: allow(unwrap, panic-path) — t's reachability checked above, so every hop has a parent
         let e = parent[cur.index()].expect("walked past the BFS root");
         rev_edges.push(e);
         cur = g.edge(e).other(cur);

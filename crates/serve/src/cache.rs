@@ -181,6 +181,7 @@ impl PathSystemCache {
         key: CacheKey,
         build: impl FnOnce() -> PathSystem,
     ) -> (Arc<PathSystem>, bool) {
+        // sor-check: allow(panic-path) — shard_of is modulo len, always in bounds
         let shard = &self.shards[key.shard_of(self.shards.len())];
         let mut map = shard.lock();
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
@@ -192,6 +193,7 @@ impl PathSystemCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         sor_obs::counter_add!("serve/cache_misses");
+        // sor-check: allow(held-lock) — single-flight by design: the shard stays locked through the build so concurrent misses on one key cost one solve
         let system = Arc::new(build());
         map.insert(
             key,
@@ -219,6 +221,7 @@ impl PathSystemCache {
 
     /// Peek without affecting LRU order or counters (tests, diagnostics).
     pub fn peek(&self, key: &CacheKey) -> Option<Arc<PathSystem>> {
+        // sor-check: allow(panic-path) — shard_of is modulo len, always in bounds
         let shard = &self.shards[key.shard_of(self.shards.len())];
         shard.lock().get(key).map(|e| Arc::clone(&e.system))
     }

@@ -136,6 +136,7 @@ pub fn scenario_patterns<R: Rng>(
             let want = pairs_per_pattern.min(mesh.len());
             let mut pat: Vec<(NodeId, NodeId)> = Vec::with_capacity(want);
             while pat.len() < want {
+                // sor-check: allow(panic-path) — gen_range upper bound is mesh.len()
                 let p = mesh[rng.gen_range(0..mesh.len())];
                 if !pat.contains(&p) {
                     pat.push(p);
@@ -186,8 +187,10 @@ pub fn run_workload_with_patterns(
                 engine.restore_all();
             }
         }
+        // sor-check: allow(panic-path) — gen_range bound is patterns.len()
         let pat = &patterns[rng.gen_range(0..patterns.len())];
         for j in 0..wcfg.rate {
+            // sor-check: allow(panic-path) — index is modulo pat.len(), non-empty asserted above
             let (s, t) = pat[j % pat.len()];
             engine.ingest(Request::unit(s, t));
         }

@@ -70,11 +70,11 @@ pub fn emergency_path(
             .iter()
             .find(|&&(e, nb)| nb == w[1] && !failed.contains(&e))
             .map(|&(e, _)| e)
-            // sor-check: allow(unwrap) — invariant stated in the expect message
+            // sor-check: allow(unwrap, panic-path) — survivor is a subgraph of g, so the edge exists
             .expect("survivor-graph edge exists in the original graph");
         edges.push(e);
     }
-    // sor-check: allow(unwrap) — invariant stated in the expect message
+    // sor-check: allow(unwrap, panic-path) — nodes re-traced from a valid survivor path
     Some(Path::from_edges(g, nodes[0], edges).expect("re-traced path is valid"))
 }
 
