@@ -49,14 +49,23 @@ cargo clippy --workspace --all-targets
 echo "==> sor-check (lexical rules + semantic pass, regression-only baseline gate)"
 cargo run -q -p sor-check -- --baseline check-baseline.json --fail-on-new
 
-echo "==> sor-check baseline drift gate (committed baseline must match a fresh write)"
+echo "==> sor-check baseline + hot-path cost drift gate (committed files must match a fresh write)"
 mkdir -p target/sor-check
-cargo run -q -p sor-check -- --write-baseline target/sor-check/fresh-baseline.json || true
+cargo run -q -p sor-check -- --write-baseline target/sor-check/fresh-baseline.json \
+  --hotpath-report target/sor-check/fresh-hotpath.json || true
 if ! diff -u check-baseline.json target/sor-check/fresh-baseline.json; then
   echo "check-baseline.json is stale: a fresh --write-baseline differs from the"
   echo "committed file. Either fix the findings or re-run"
   echo "  cargo run -q -p sor-check -- --write-baseline check-baseline.json"
   echo "and commit the result with a justification."
+  exit 1
+fi
+if ! diff -u check-hotpath.json target/sor-check/fresh-hotpath.json; then
+  echo "check-hotpath.json is stale: the hot-path cost report changed. Review the"
+  echo "diff (allocs/clones/depth per hot entry must only move in audited steps),"
+  echo "then re-run"
+  echo "  cargo run -q -p sor-check -- --hotpath-report check-hotpath.json"
+  echo "and commit the result."
   exit 1
 fi
 

@@ -251,8 +251,10 @@ pub fn e17_packet_level(quick: bool) -> Table {
     // experiment validates the fluid model at the packet level)
     let ksp = sor_oblivious::KspRouting::new(g.clone(), p);
     let mut system = sor_core::PathSystem::new();
-    for (path, _) in sor_oblivious::routing::ObliviousRouting::path_distribution(&ksp, s0, t0) {
-        system.insert(s0, t0, path);
+    for (path, _) in
+        sor_oblivious::routing::ObliviousRouting::path_distribution(&ksp, s0, t0).iter()
+    {
+        system.insert(s0, t0, path.clone());
     }
     let sor = SemiObliviousRouting::new(g.clone(), system);
     let sol = sor.route_fractional(&dm, 0.1);

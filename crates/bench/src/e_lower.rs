@@ -123,8 +123,10 @@ pub fn e6_completion_time(quick: bool) -> Table {
     let ksp = KspRouting::new(g.clone(), p + 1);
     let mut system = sor_core::PathSystem::new();
     for &(a, b) in &pairs {
-        for (path, _) in sor_oblivious::routing::ObliviousRouting::path_distribution(&ksp, a, b) {
-            system.insert(a, b, path);
+        for (path, _) in
+            sor_oblivious::routing::ObliviousRouting::path_distribution(&ksp, a, b).iter()
+        {
+            system.insert(a, b, path.clone());
         }
     }
     let sor = SemiObliviousRouting::new(g.clone(), system);

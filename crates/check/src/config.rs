@@ -59,6 +59,17 @@ pub struct Config {
     /// reachable from them is audited for non-`Send` / interior-mutable
     /// types by the rayon-readiness rule.
     pub parallel_targets: Vec<String>,
+    /// `[hotpath] entries`: hot entry points (plain `name` or
+    /// `crate::name`). The hot-path rules walk the layering-filtered
+    /// call graph from each entry and audit everything reachable for
+    /// allocation and complexity cost. Empty ⇒ the family is skipped.
+    pub hotpath_entries: Vec<String>,
+    /// `[hotpath] alloc_min_depth`: minimum effective loop depth (the
+    /// maximum lexical loop depth along the witness chain, call sites
+    /// included) at which a reachable allocation site becomes an
+    /// `alloc-in-hot` finding. Shallower sites still count in the cost
+    /// report. `None` ⇒ the default of 1.
+    pub hotpath_alloc_min_depth: Option<i64>,
 }
 
 /// A `check.toml` parse failure, with a 1-based line number.
@@ -208,6 +219,20 @@ impl Config {
                 }
                 _ => err("concurrency.parallel_targets must be an array".into()),
             },
+            ("hotpath", "entries") => match value {
+                Value::StrArray(v) => {
+                    self.hotpath_entries = v;
+                    Ok(())
+                }
+                _ => err("hotpath.entries must be an array".into()),
+            },
+            ("hotpath", "alloc_min_depth") => match value {
+                Value::Int(n) if n >= 0 => {
+                    self.hotpath_alloc_min_depth = Some(n);
+                    Ok(())
+                }
+                _ => err("hotpath.alloc_min_depth must be a non-negative integer".into()),
+            },
             _ => err(format!("unknown configuration key [{section}] {key}")),
         }
     }
@@ -281,6 +306,13 @@ impl Config {
         }
         out.sort();
         Some(out)
+    }
+
+    /// Effective `[hotpath] alloc_min_depth` (default 1).
+    pub fn alloc_min_depth(&self) -> usize {
+        self.hotpath_alloc_min_depth
+            .map(|n| usize::try_from(n).unwrap_or(usize::MAX))
+            .unwrap_or(1)
     }
 }
 
@@ -380,6 +412,20 @@ parallel_targets = ["sample_k", "sor-graph::dijkstra"]
             cfg.parallel_targets,
             vec!["sample_k", "sor-graph::dijkstra"]
         );
+    }
+
+    #[test]
+    fn hotpath_section_parses_with_default_depth() {
+        let cfg = Config::parse("[hotpath]\nentries = [\"sample_k\", \"sor-oblivious::build\"]\n")
+            .expect("parse");
+        assert_eq!(
+            cfg.hotpath_entries,
+            vec!["sample_k", "sor-oblivious::build"]
+        );
+        assert_eq!(cfg.alloc_min_depth(), 1);
+        let explicit = Config::parse("[hotpath]\nalloc_min_depth = 2\n").expect("parse");
+        assert_eq!(explicit.alloc_min_depth(), 2);
+        assert!(Config::parse("[hotpath]\nalloc_min_depth = -1\n").is_err());
     }
 
     #[test]

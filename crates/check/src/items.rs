@@ -7,8 +7,11 @@
 //! declares (functions with signatures, structs, enums, traits, consts,
 //! type aliases), the `use` declarations that bind names into scope, and
 //! per-function *facts* (panic sites, RNG constructions, hash-container
-//! iterations) plus outgoing *call references* that
-//! [`crate::graph::ItemGraph`] later resolves into edges.
+//! iterations, heap-allocation sites) plus outgoing *call references*
+//! that [`crate::graph::ItemGraph`] later resolves into edges. Every
+//! call and allocation site carries its lexical loop depth (see
+//! [`loop_depths`]) so the hot-path rules can attribute per-iteration
+//! cost.
 //!
 //! # Honest limitations
 //!
@@ -16,7 +19,10 @@
 //! whitespace; call references are `identifier(`-shaped tokens resolved
 //! by name, so same-named functions in sibling modules can alias;
 //! method calls resolve only when the receiver type is unambiguous by
-//! name. Each rule built on top errs toward reporting (and the
+//! name. The loop-depth tracker is lexical too: a single-line loop body
+//! (`for x in xs { v.push(x) }`) is measured at the header's depth, and
+//! a closure argument inside a loop header counts as part of the body.
+//! Each rule built on top errs toward reporting (and the
 //! allowlist/baseline mechanisms absorb intended exceptions) rather
 //! than silently missing structure.
 
@@ -78,6 +84,32 @@ pub struct PanicSite {
     pub token: String,
 }
 
+/// How an [`AllocSite`] allocates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocKind {
+    /// A heap-allocating constructor (`Vec::new`, `vec![`, `Box::new`, ...).
+    Ctor,
+    /// An allocating adaptor (`.collect()`, `.to_vec()`, `.to_owned()`, ...).
+    Adaptor,
+    /// `.clone()` — duplicates its receiver's heap storage.
+    Clone,
+}
+
+/// One heap-allocation site inside a function body.
+#[derive(Clone, Debug)]
+pub struct AllocSite {
+    /// 1-based line in the containing file.
+    pub line: usize,
+    /// Mechanism.
+    pub kind: AllocKind,
+    /// The offending token, for messages (`Vec::new`, `.collect()`, ...).
+    pub token: String,
+    /// Lexical loop depth at the site (see [`loop_depths`]).
+    pub depth: usize,
+    /// For clones: the receiver identifier, when recoverable.
+    pub recv: Option<String>,
+}
+
 /// Facts collected from one function body, consumed by the rules.
 #[derive(Clone, Debug, Default)]
 pub struct Facts {
@@ -87,6 +119,8 @@ pub struct Facts {
     pub rng_ctors: Vec<usize>,
     /// Lines that iterate a `HashMap`/`HashSet` local in arbitrary order.
     pub hash_iters: Vec<usize>,
+    /// Heap-allocation sites, source order.
+    pub allocs: Vec<AllocSite>,
 }
 
 /// An unresolved outgoing call from a function body.
@@ -101,6 +135,8 @@ pub struct CallRef {
     pub method: bool,
     /// 1-based line of the call.
     pub line: usize,
+    /// Lexical loop depth at the call site (see [`loop_depths`]).
+    pub depth: usize,
 }
 
 /// One declared item.
@@ -222,6 +258,56 @@ pub fn test_mask(stripped: &[String]) -> Vec<bool> {
     mask
 }
 
+/// Per-line lexical loop depth over stripped lines: how many `for` /
+/// `while` / `loop` bodies enclose the first token of each line. A loop
+/// header line itself sits at the *outer* depth (its iterator expression
+/// is evaluated once per entry, not per iteration), and a line whose
+/// leading token is a run of closing braces is measured after those
+/// braces close.
+pub fn loop_depths(stripped: &[String]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(stripped.len());
+    let mut depth: i32 = 0; // brace depth
+    let mut loops: Vec<i32> = Vec::new(); // brace depth each loop body opened at
+    let mut armed = false; // saw a loop header, waiting for its `{`
+    for s in stripped {
+        let t = s.trim_start();
+        let lead = i32::try_from(t.chars().take_while(|&c| c == '}').count()).unwrap_or(i32::MAX);
+        let eff = depth - lead;
+        out.push(loops.iter().filter(|&&d| d < eff).count());
+        if is_loop_header(t) {
+            armed = true;
+        }
+        for ch in s.chars() {
+            match ch {
+                '{' => {
+                    if armed {
+                        loops.push(depth);
+                        armed = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    while loops.last().is_some_and(|&d| d >= depth) {
+                        loops.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Does a trimmed line begin a `for` / `while` / `loop` construct?
+fn is_loop_header(t: &str) -> bool {
+    t.starts_with("for ")
+        || t.starts_with("while ")
+        || t == "loop"
+        || t.starts_with("loop ")
+        || t.starts_with("loop{")
+}
+
 /// Derive the in-crate module path from a workspace-relative file path:
 /// `crates/flow/src/lib.rs` ⇒ `""`, `crates/graph/src/gen/wan.rs` ⇒
 /// `gen::wan`, `src/bin/sor.rs` ⇒ `bin::sor`.
@@ -270,6 +356,7 @@ pub fn parse_file(rel: &Path, krate: &str, text: &str) -> SourceFile {
     let mut stripper = Stripper::new();
     let stripped: Vec<String> = raw.iter().map(|l| stripper.strip_line(l)).collect();
     let in_test = test_mask(&stripped);
+    let loop_depth = loop_depths(&stripped);
 
     let mut file = SourceFile {
         rel: rel.to_path_buf(),
@@ -339,8 +426,18 @@ pub fn parse_file(rel: &Path, krate: &str, text: &str) -> SourceFile {
                         if !in_test[last] {
                             if let Some(pos) = stripped[last].find('{') {
                                 let tail = &stripped[last][pos + 1..];
-                                collect_facts(&mut file.items[item_idx], tail, last + 1);
-                                collect_calls(&mut file.items[item_idx], tail, last + 1);
+                                collect_facts(
+                                    &mut file.items[item_idx],
+                                    tail,
+                                    last + 1,
+                                    loop_depth[last],
+                                );
+                                collect_calls(
+                                    &mut file.items[item_idx],
+                                    tail,
+                                    last + 1,
+                                    loop_depth[last],
+                                );
                             }
                         }
                     }
@@ -367,8 +464,18 @@ pub fn parse_file(rel: &Path, krate: &str, text: &str) -> SourceFile {
 
         // Body line of the innermost function: collect facts and calls.
         if let Some(item) = in_fn {
-            collect_facts(&mut file.items[item], &stripped[idx], idx + 1);
-            collect_calls(&mut file.items[item], &stripped[idx], idx + 1);
+            collect_facts(
+                &mut file.items[item],
+                &stripped[idx],
+                idx + 1,
+                loop_depth[idx],
+            );
+            collect_calls(
+                &mut file.items[item],
+                &stripped[idx],
+                idx + 1,
+                loop_depth[idx],
+            );
         }
 
         advance_depth(&mut depth, &mut stack, &stripped, &in_test, idx, 1);
@@ -735,6 +842,19 @@ fn collect_use_leaves(body: &str, out: &mut Vec<String>) {
     }
 }
 
+/// Identifier bound by a (trimmed) `let ` line: `let mut out = ...` ⇒
+/// `out`. `None` for destructuring patterns.
+pub(crate) fn ident_after_let(t: &str) -> Option<String> {
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.trim_start().trim_start_matches("mut ").trim_start();
+    let name = ident_of(rest);
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
 /// Leading identifier of `s`.
 fn ident_of(s: &str) -> String {
     s.trim()
@@ -749,8 +869,79 @@ fn ident_of(s: &str) -> String {
 /// deterministic and exactly what the audit wants code to do.
 const RNG_CTOR_TOKENS: [&str; 3] = ["from_entropy(", "thread_rng(", "from_os_rng("];
 
-/// Scan one stripped body line into the item's facts.
-fn collect_facts(item: &mut Item, s: &str, line: usize) {
+/// Heap-allocating constructor tokens. `with_capacity` constructors are
+/// deliberately excluded: pre-sizing is exactly what the hot-path rules
+/// want code to do.
+const ALLOC_CTOR_TOKENS: [&str; 10] = [
+    "Vec::new(",
+    "vec![",
+    "String::new(",
+    "String::from(",
+    "Box::new(",
+    "HashMap::new(",
+    "HashSet::new(",
+    "BTreeMap::new(",
+    "BTreeSet::new(",
+    "VecDeque::new(",
+];
+
+/// Allocating adaptor tokens (matched anywhere in a line).
+const ALLOC_ADAPTOR_TOKENS: [&str; 5] = [
+    ".collect()",
+    ".collect::<",
+    ".to_vec()",
+    ".to_string()",
+    ".to_owned()",
+];
+
+/// Is the character before byte `pos` of `s` not part of an identifier
+/// (so a token starting at `pos` stands on its own)?
+fn token_at_boundary(s: &str, pos: usize) -> bool {
+    if pos == 0 {
+        return true;
+    }
+    let b = s.as_bytes()[pos - 1];
+    !(b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Identifier ending at byte `pos` of `line`, skipping balanced
+/// `(..)`/`[..]` suffix groups, so `self.shards[i].lock()` and
+/// `shard_for(key).lock()` both yield the ident left of the group.
+pub(crate) fn receiver_before(line: &str, pos: usize) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut i = pos;
+    while i > 0 && (bytes[i - 1] == b')' || bytes[i - 1] == b']') {
+        let close = bytes[i - 1];
+        let open = if close == b')' { b'(' } else { b'[' };
+        let mut depth = 0i32;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            if bytes[j] == close {
+                depth += 1;
+            } else if bytes[j] == open {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        i = j;
+    }
+    let end = i;
+    while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        i -= 1;
+    }
+    if i < end {
+        Some(line[i..end].to_string())
+    } else {
+        None
+    }
+}
+
+/// Scan one stripped body line into the item's facts. `depth` is the
+/// line's lexical loop depth from [`loop_depths`].
+fn collect_facts(item: &mut Item, s: &str, line: usize, depth: usize) {
     for (token, kind, shown) in [
         ("panic!(", PanicKind::Explicit, "panic!"),
         ("unreachable!(", PanicKind::Explicit, "unreachable!"),
@@ -777,6 +968,39 @@ fn collect_facts(item: &mut Item, s: &str, line: usize) {
     if RNG_CTOR_TOKENS.iter().any(|t| s.contains(t)) {
         item.facts.rng_ctors.push(line);
     }
+    for tok in ALLOC_CTOR_TOKENS {
+        for (pos, _) in s.match_indices(tok) {
+            if token_at_boundary(s, pos) {
+                item.facts.allocs.push(AllocSite {
+                    line,
+                    kind: AllocKind::Ctor,
+                    token: tok.trim_end_matches(['(', '[']).to_string(),
+                    depth,
+                    recv: None,
+                });
+            }
+        }
+    }
+    for tok in ALLOC_ADAPTOR_TOKENS {
+        for _ in s.match_indices(tok) {
+            item.facts.allocs.push(AllocSite {
+                line,
+                kind: AllocKind::Adaptor,
+                token: tok.trim_end_matches(['(', '<', ':']).to_string(),
+                depth,
+                recv: None,
+            });
+        }
+    }
+    for (pos, _) in s.match_indices(".clone()") {
+        item.facts.allocs.push(AllocSite {
+            line,
+            kind: AllocKind::Clone,
+            token: ".clone()".to_string(),
+            depth,
+            recv: receiver_before(s, pos),
+        });
+    }
 }
 
 /// `ident[`, `)[` or `][` — an index expression rather than an array
@@ -802,8 +1026,9 @@ const NON_CALL_KEYWORDS: [&str; 12] = [
     "if", "while", "for", "match", "return", "fn", "let", "in", "loop", "move", "as", "else",
 ];
 
-/// Scan one stripped body line for outgoing call references.
-fn collect_calls(item: &mut Item, s: &str, line: usize) {
+/// Scan one stripped body line for outgoing call references. `depth` is
+/// the line's lexical loop depth from [`loop_depths`].
+fn collect_calls(item: &mut Item, s: &str, line: usize, depth: usize) {
     let chars: Vec<char> = s.chars().collect();
     let mut i = 0usize;
     while i < chars.len() {
@@ -857,6 +1082,7 @@ fn collect_calls(item: &mut Item, s: &str, line: usize) {
             qualifier,
             method,
             line,
+            depth,
         });
         i += 1;
     }
@@ -1162,6 +1388,51 @@ mod tests {
         // to a same-file/same-crate item if one exists.
         assert_eq!(f.uses[0].names, vec!["sp".to_string()]);
         assert!(f.items[0].calls.iter().any(|c| c.name == "sp"));
+    }
+
+    #[test]
+    fn loop_depths_track_nesting() {
+        let text = "fn f() {\n    let a = 1;\n    for i in 0..3 {\n        let b = i;\n        while b > 0 {\n            work();\n        }\n        after();\n    }\n    tail();\n}\n";
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let d = loop_depths(&lines);
+        // header lines sit at the outer depth; bodies one deeper.
+        assert_eq!(d, vec![0, 0, 0, 1, 1, 2, 1, 1, 0, 0, 0], "{d:?}");
+    }
+
+    #[test]
+    fn loop_depth_attached_to_calls_and_allocs() {
+        let f = parse(
+            "fn f() {\n    let mut out = Vec::new();\n    for i in 0..3 {\n        out.push(helper(i));\n        let s = x.clone();\n    }\n}\n",
+        );
+        let item = &f.items[0];
+        let helper = item.calls.iter().find(|c| c.name == "helper").expect("h");
+        assert_eq!(helper.depth, 1);
+        let ctor = item
+            .facts
+            .allocs
+            .iter()
+            .find(|a| a.token == "Vec::new")
+            .expect("ctor");
+        assert_eq!((ctor.kind, ctor.depth, ctor.line), (AllocKind::Ctor, 0, 2));
+        let clone = item
+            .facts
+            .allocs
+            .iter()
+            .find(|a| a.kind == AllocKind::Clone)
+            .expect("clone");
+        assert_eq!(clone.depth, 1);
+        assert_eq!(clone.recv.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn alloc_tokens_respect_boundaries() {
+        let f = parse("fn f() {\n    let a = SmallVec::new();\n    let b = v.collect::<Vec<_>>();\n    let c = Vec::with_capacity(8);\n}\n");
+        let allocs = &f.items[0].facts.allocs;
+        // `SmallVec::new` is not `Vec::new`; `with_capacity` is not a
+        // finding token; `.collect::<` is.
+        assert!(!allocs.iter().any(|a| a.token == "Vec::new"), "{allocs:?}");
+        assert_eq!(allocs.len(), 1, "{allocs:?}");
+        assert_eq!(allocs[0].token, ".collect");
     }
 
     #[test]

@@ -551,13 +551,22 @@ impl From<config::ConfigError> for AnalysisError {
 /// configures the semantic rules; without it they are skipped (except
 /// those that need no configuration).
 pub fn analyze_workspace(root: &Path) -> Result<Vec<report::Finding>, AnalysisError> {
+    analyze_workspace_with_cost(root).map(|(f, _)| f)
+}
+
+/// Like [`analyze_workspace`], also returning the per-entry hot-path
+/// cost report (empty when `check.toml` has no `[hotpath] entries`).
+pub fn analyze_workspace_with_cost(
+    root: &Path,
+) -> Result<(Vec<report::Finding>, Vec<rules::hotpath::EntryCost>), AnalysisError> {
     let cfg = config::Config::load(root)?;
     let mut findings: Vec<report::Finding> = scan_workspace(root)?
         .into_iter()
         .map(report::Finding::from)
         .collect();
     let ws = graph::load_workspace(root)?;
-    findings.extend(rules::run_semantic(&ws, &cfg));
+    let (semantic, cost) = rules::run_semantic_with_cost(&ws, &cfg);
+    findings.extend(semantic);
     findings.sort_by(|a, b| {
         a.file
             .cmp(&b.file)
@@ -565,7 +574,7 @@ pub fn analyze_workspace(root: &Path) -> Result<Vec<report::Finding>, AnalysisEr
             .then(a.rule.cmp(&b.rule))
             .then(a.symbol.cmp(&b.symbol))
     });
-    Ok(findings)
+    Ok((findings, cost))
 }
 
 #[cfg(test)]

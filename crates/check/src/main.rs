@@ -9,8 +9,15 @@
 //! ```text
 //! sor-check [ROOT] [--format text|json|sarif] [--output PATH]
 //!           [--baseline PATH] [--no-baseline] [--fail-on-new]
-//!           [--write-baseline PATH]
+//!           [--write-baseline PATH] [--hotpath-report PATH]
+//! sor-check --explain <rule>
 //! ```
+//!
+//! `--hotpath-report PATH` writes the per-entry hot-path cost report
+//! (reachable functions, allocation/clone sites, max loop depth, deep
+//! witness groups) as deterministic JSON — the committed
+//! `check-hotpath.json` snapshot CI diffs against. `--explain <rule>`
+//! prints the long-form documentation for one rule id and exits.
 //!
 //! A baseline at `<ROOT>/check-baseline.json` is picked up
 //! automatically (override with `--baseline`, disable with
@@ -22,8 +29,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sor_check::report::{render_json, render_sarif, render_text};
-use sor_check::{analyze_workspace, baseline};
+use sor_check::report::{explain, render_json, render_sarif, render_text, RULE_DESCRIPTIONS};
+use sor_check::rules::hotpath::{render_cost_json, render_cost_table};
+use sor_check::{analyze_workspace_with_cost, baseline, ALL_RULES};
 
 /// Parsed command line.
 struct Opts {
@@ -33,6 +41,8 @@ struct Opts {
     baseline: Option<PathBuf>,
     no_baseline: bool,
     write_baseline: Option<PathBuf>,
+    hotpath_report: Option<PathBuf>,
+    explain: Option<String>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -50,6 +60,8 @@ fn parse_args() -> Result<Opts, String> {
         baseline: None,
         no_baseline: false,
         write_baseline: None,
+        hotpath_report: None,
+        explain: None,
     };
     let mut args = std::env::args().skip(1);
     let mut positional_seen = false;
@@ -77,6 +89,10 @@ fn parse_args() -> Result<Opts, String> {
             "--write-baseline" => {
                 opts.write_baseline = Some(PathBuf::from(value_of("--write-baseline")?));
             }
+            "--hotpath-report" => {
+                opts.hotpath_report = Some(PathBuf::from(value_of("--hotpath-report")?));
+            }
+            "--explain" => opts.explain = Some(value_of("--explain")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             positional => {
                 if positional_seen {
@@ -98,6 +114,28 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(id) = &opts.explain {
+        return match explain(id) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                let mut ids: Vec<&str> = ALL_RULES.iter().map(|r| r.id()).collect();
+                let extra: Vec<&str> = RULE_DESCRIPTIONS
+                    .iter()
+                    .map(|(i, _)| *i)
+                    .filter(|i| !ids.contains(i))
+                    .collect();
+                ids.extend(extra);
+                eprintln!(
+                    "sor-check: unknown rule `{id}` — valid ids: {}",
+                    ids.join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
     if !opts.root.is_dir() {
         eprintln!(
             "sor-check: root `{}` is not a directory",
@@ -106,13 +144,26 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let findings = match analyze_workspace(&opts.root) {
-        Ok(f) => f,
+    let (findings, cost) = match analyze_workspace_with_cost(&opts.root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("sor-check: analysis failed: {e}");
             return ExitCode::from(2);
         }
     };
+
+    // The cost report is an inventory, not a gate: write it whenever
+    // asked, in every mode, including --write-baseline runs (so CI
+    // regenerates both snapshots from one invocation).
+    if let Some(path) = &opts.hotpath_report {
+        if let Err(e) = std::fs::write(path, render_cost_json(&cost)) {
+            eprintln!(
+                "sor-check: cannot write hot-path report {}: {e}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
 
     if let Some(path) = &opts.write_baseline {
         let text = baseline::render(&findings);
@@ -150,7 +201,17 @@ fn main() -> ExitCode {
     let (new, baselined) = baseline::partition(findings, &baseline_set);
 
     let rendered = match opts.format {
-        Format::Text => render_text(&new, baselined.len()),
+        // The cost table rides along in text mode only; json/sarif
+        // stay pure findings documents (the JSON inventory lives
+        // behind --hotpath-report).
+        Format::Text => {
+            let mut s = render_text(&new, baselined.len());
+            if !cost.is_empty() {
+                s.push('\n');
+                s.push_str(&render_cost_table(&cost));
+            }
+            s
+        }
         Format::Json => render_json(&new, &baselined),
         Format::Sarif => render_sarif(&new, &baselined),
     };

@@ -19,7 +19,7 @@ use crate::Violation;
 
 /// Identifier and one-line description of every rule either pass can
 /// fire, in reporting order (used for SARIF rule metadata and `--help`).
-pub const RULE_DESCRIPTIONS: [(&str, &str); 15] = [
+pub const RULE_DESCRIPTIONS: [(&str, &str); 19] = [
     ("unwrap", "no .unwrap()/.expect()/panic! in library code"),
     (
         "lossy-cast",
@@ -71,7 +71,142 @@ pub const RULE_DESCRIPTIONS: [(&str, &str); 15] = [
         "rayon-ready",
         "parallel-target call trees avoid non-Send and interior-mutable state",
     ),
+    (
+        "alloc-in-hot",
+        "no heap allocation at loop depth >= alloc_min_depth reachable from a hot entry",
+    ),
+    (
+        "clone-in-loop",
+        "no .clone() at effective loop depth >= 1 anywhere in a hot call tree",
+    ),
+    (
+        "growth-without-capacity",
+        "collections grown in a loop are constructed with_capacity",
+    ),
+    (
+        "quadratic-scan",
+        "no linear Vec/slice scans inside a loop over a collection",
+    ),
 ];
+
+/// Long-form documentation per rule for `sor-check --explain <rule>`:
+/// `(id, doc, config keys)`.
+pub fn explain(id: &str) -> Option<String> {
+    let (doc, keys): (&str, &str) = match id {
+        "unwrap" => (
+            "Library code must not call .unwrap()/.expect() or panic!/unreachable!/\n\
+             todo!/unimplemented!. Propagate a Result or handle the None arm; tests,\n\
+             benches and examples are exempt.",
+            "none (lexical; scope is the LIB_CRATES list)",
+        ),
+        "lossy-cast" => (
+            "Numeric-core crates must not use narrowing `as` casts (u64 as u32,\n\
+             f64 as f32, usize as u32, ...). Use NodeId::from_usize-style checked\n\
+             constructors or try_into.",
+            "none (lexical)",
+        ),
+        "thread-rng" => (
+            "thread_rng() draws from ambient entropy and destroys reproducibility.\n\
+             All randomness flows from an explicit seed.",
+            "none (lexical)",
+        ),
+        "float-eq" => (
+            "Float == / != against literals is almost never what a solver means;\n\
+             compare against a tolerance.",
+            "none (lexical)",
+        ),
+        "missing-docs" => (
+            "Public functions of sor-core carry /// doc comments.",
+            "none (lexical)",
+        ),
+        "unsafe-code" => (
+            "The workspace forbids unsafe blocks; every crate root also carries\n\
+             #![forbid(unsafe_code)].",
+            "none (lexical)",
+        ),
+        "layering" => (
+            "Crate references must respect the DAG declared in [layers]: a crate may\n\
+             reference only the transitive closure of its declared dependencies.",
+            "[layers] <crate> = [<deps>...]",
+        ),
+        "panic-path" => (
+            "No panic site may be reachable from a pub fn of the configured crates,\n\
+             over the workspace call graph; the witness is the shortest call chain.",
+            "[panics] public_crates, include_indexing, index_crates",
+        ),
+        "unseeded-rng" => (
+            "Functions of the configured crates that construct an RNG must take a\n\
+             seed or Rng parameter; from_entropy/thread_rng-style constructors flag.",
+            "[determinism] rng_crates",
+        ),
+        "hash-order" => (
+            "Solver/sampler crates must not iterate HashMap/HashSet locals in hash\n\
+             order — switch to BTreeMap or sort before iterating.",
+            "[determinism] order_crates",
+        ),
+        "dead-api" => (
+            "pub items of the configured crates must be referenced somewhere outside\n\
+             their own crate.",
+            "[dead-api] crates",
+        ),
+        "lock-order" => (
+            "Lock acquisitions (lexical .lock()/.read()/.write() sites, closed over\n\
+             the layering-filtered call graph) must form a DAG; each strongly\n\
+             connected tangle reports one shortest witness cycle.",
+            "[concurrency] crates",
+        ),
+        "held-lock" => (
+            "No call reaching a function named in `expensive` may run while a lock\n\
+             guard is lexically live. Guard-producing acquisition calls are\n\
+             recognized by site, so io::Write::write/flush can be listed.",
+            "[concurrency] crates, expensive",
+        ),
+        "atomics" => (
+            "Atomic orderings are audited per field: SeqCst needs a justified allow,\n\
+             counters may relax, and one field must not mix orderings.",
+            "[concurrency] crates",
+        ),
+        "rayon-ready" => (
+            "Everything reachable from the configured parallel targets must avoid\n\
+             non-Send and interior-mutable state (Rc, RefCell, Cell, raw pointers,\n\
+             thread_local!).",
+            "[concurrency] parallel_targets",
+        ),
+        "alloc-in-hot" => (
+            "Walks the layering-filtered call graph from each [hotpath] entry; every\n\
+             non-clone heap-allocation site (Vec::new, vec![, String::new, Box::new,\n\
+             .collect(), .to_vec(), ...) whose effective loop depth — the maximum\n\
+             lexical loop depth along the shortest witness chain, call sites\n\
+             included — reaches alloc_min_depth is reported. Shallower sites still\n\
+             count in the per-entry cost report (--hotpath-report).",
+            "[hotpath] entries, alloc_min_depth (default 1)",
+        ),
+        "clone-in-loop" => (
+            ".clone() at effective loop depth >= 1 anywhere in a hot tree — a clone\n\
+             per iteration, counting loops across function boundaries. Borrow,\n\
+             std::mem::take, or share via Arc instead.",
+            "[hotpath] entries",
+        ),
+        "growth-without-capacity" => (
+            "Within hot-tree functions: a local built with Vec::new()/vec![]/\n\
+             String::new()/HashMap::new()/... and then .push/.insert/.push_str-ed\n\
+             at a strictly deeper lexical loop depth pays repeated reallocation;\n\
+             construct it with_capacity.",
+            "[hotpath] entries",
+        ),
+        "quadratic-scan" => (
+            "Within hot-tree functions: a for-loop over a Vec/slice whose body runs\n\
+             .contains()/.iter().position()/.iter().find() against the same or a\n\
+             sibling Vec/slice is O(n*m); index into a HashSet/HashMap or sort once.",
+            "[hotpath] entries",
+        ),
+        _ => return None,
+    };
+    let (_, short) = RULE_DESCRIPTIONS.iter().find(|(i, _)| *i == id)?;
+    Some(format!(
+        "{id} — {short}\n\n{doc}\n\nconfig: {keys}\n\nallow syntax: // sor-check: allow({id}) — <justification>\n"
+    ))
+}
 
 /// One finding from either pass.
 #[derive(Clone, Debug)]

@@ -28,6 +28,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::config::Config;
 use crate::graph::{ItemGraph, Workspace};
+pub(crate) use crate::items::receiver_before;
 use crate::items::{body_spans, SourceFile};
 use crate::report::Finding;
 
@@ -37,8 +38,20 @@ use super::allows;
 /// argument lists, which filters out `io::Read`/`io::Write` calls.
 pub(crate) const ACQUIRE_TOKENS: [&str; 3] = [".lock()", ".read()", ".write()"];
 
-/// Call names that are guard machinery, never callees of interest.
-pub(crate) const GUARD_CALLS: [&str; 4] = ["lock", "read", "write", "drop"];
+/// Is the call named `name` at `line` guard machinery rather than an
+/// ordinary call? `drop` always is (it ends guard scopes); `lock` /
+/// `read` / `write` only when the line carries a recorded acquisition
+/// via the same method — so `w.write(buf)` / `out.flush()` stay
+/// ordinary calls the held-lock rule may flag as expensive, while the
+/// argument-less `.write()` RwLock acquisition itself is not its own
+/// "expensive call under guard".
+pub(crate) fn is_guard_call(acquires: &[Acquire], name: &str, line: usize) -> bool {
+    if name == "drop" {
+        return true;
+    }
+    ["lock", "read", "write"].contains(&name)
+        && acquires.iter().any(|a| a.line == line && a.via == name)
+}
 
 /// One lexical lock-acquisition site inside a function body.
 #[derive(Clone, Debug)]
@@ -51,6 +64,9 @@ pub struct Acquire {
     pub col: usize,
     /// 1-based last line on which the guard may still be live.
     pub scope_end: usize,
+    /// Acquisition method name (`lock` / `read` / `write`), used to
+    /// tell the acquisition call apart from same-named ordinary calls.
+    pub via: String,
 }
 
 /// Lock facts shared by the concurrency rules.
@@ -165,41 +181,6 @@ fn depths(lines: &[String]) -> (Vec<i32>, Vec<i32>) {
     (before, after)
 }
 
-/// Identifier ending at byte `pos` of `line`, skipping balanced
-/// `(..)`/`[..]` suffix groups, so `self.shards[i].lock()` and
-/// `shard_for(key).lock()` both yield the ident left of the group.
-pub(crate) fn receiver_before(line: &str, pos: usize) -> Option<String> {
-    let bytes = line.as_bytes();
-    let mut i = pos;
-    while i > 0 && (bytes[i - 1] == b')' || bytes[i - 1] == b']') {
-        let close = bytes[i - 1];
-        let open = if close == b')' { b'(' } else { b'[' };
-        let mut depth = 0i32;
-        let mut j = i;
-        while j > 0 {
-            j -= 1;
-            if bytes[j] == close {
-                depth += 1;
-            } else if bytes[j] == open {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            }
-        }
-        i = j;
-    }
-    let end = i;
-    while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
-        i -= 1;
-    }
-    if i < end {
-        Some(line[i..end].to_string())
-    } else {
-        None
-    }
-}
-
 /// Scan the 1-based body span `[open, close]` for acquisitions.
 fn scan_body(file: &SourceFile, open: usize, close: usize) -> Vec<Acquire> {
     let (before, after) = depths(&file.stripped);
@@ -227,6 +208,7 @@ fn scan_body(file: &SourceFile, open: usize, close: usize) -> Vec<Acquire> {
                     line: idx + 1,
                     col: pos,
                     scope_end: scope_end + 1,
+                    via: tok.trim_matches(['.', '(', ')']).to_string(),
                 });
             }
         }
@@ -351,7 +333,7 @@ pub fn run(ws: &Workspace, graph: &ItemGraph, model: &Model, cfg: &Config) -> Ve
             for call in &item.calls {
                 if call.line < a.line
                     || call.line > a.scope_end
-                    || GUARD_CALLS.contains(&call.name.as_str())
+                    || is_guard_call(&model.acquires[g], &call.name, call.line)
                 {
                     continue;
                 }

@@ -19,7 +19,7 @@ use crate::graph::{ItemGraph, Workspace};
 use crate::report::Finding;
 
 use super::allows;
-use super::concurrency::{call_after_col, Model, GUARD_CALLS};
+use super::concurrency::{call_after_col, is_guard_call, Model};
 
 /// An expensive call site: `(fn index, call name, 1-based line)`.
 type Site = (usize, String, usize);
@@ -48,7 +48,7 @@ pub fn run(ws: &Workspace, graph: &ItemGraph, model: &Model, cfg: &Config) -> Ve
             for call in &item.calls {
                 if call.line < a.line
                     || call.line > a.scope_end
-                    || GUARD_CALLS.contains(&call.name.as_str())
+                    || is_guard_call(&model.acquires[g], &call.name, call.line)
                     || allows(file, call.line, "held-lock")
                 {
                     continue;
@@ -232,6 +232,37 @@ mod tests {
         let fs = findings(
             "pub struct P;\nimpl P {\n    pub fn f(&self, tx: &Tx) {\n        let g = self.state.lock();\n        drop(g);\n        tx.send(1);\n    }\n}\n",
         );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn io_write_under_guard_is_expensive_not_guard_machinery() {
+        let w = ws(
+            "pub struct P;\nimpl P {\n    pub fn f(&self, out: &mut W) {\n        let g = self.state.lock();\n        out.write(&g.buf);\n    }\n}\n",
+        );
+        let cfg =
+            Config::parse("[concurrency]\ncrates = [\"sor-core\"]\nexpensive = [\"write\"]\n")
+                .expect("cfg");
+        let graph = ItemGraph::build(&w);
+        let model = Model::build(&w, &graph, &cfg);
+        let fs = run(&w, &graph, &model, &cfg);
+        // `out.write(&g.buf)` has arguments: it is io::Write, not an
+        // RwLock acquisition, and must be flaggable as expensive.
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].symbol.ends_with("->write"), "{}", fs[0].symbol);
+    }
+
+    #[test]
+    fn rwlock_write_acquisition_is_not_its_own_expensive_call() {
+        let w = ws(
+            "pub struct P;\nimpl P {\n    pub fn f(&self) {\n        let g = self.state.write();\n        g.bump();\n    }\n}\n",
+        );
+        let cfg =
+            Config::parse("[concurrency]\ncrates = [\"sor-core\"]\nexpensive = [\"write\"]\n")
+                .expect("cfg");
+        let graph = ItemGraph::build(&w);
+        let model = Model::build(&w, &graph, &cfg);
+        let fs = run(&w, &graph, &model, &cfg);
         assert!(fs.is_empty(), "{fs:?}");
     }
 

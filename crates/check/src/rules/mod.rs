@@ -11,6 +11,10 @@
 //! | `held-lock` | no expensive/blocking calls while a guard is live |
 //! | `atomics` | atomic orderings are minimal, justified, consistent |
 //! | `rayon-ready` | parallel targets reach no non-`Send` state |
+//! | `alloc-in-hot` | no deep heap allocation reachable from a hot entry |
+//! | `clone-in-loop` | no `.clone()` at loop depth ≥ 1 in a hot tree |
+//! | `growth-without-capacity` | collections grown in a loop are pre-sized |
+//! | `quadratic-scan` | no linear scans inside a loop over a collection |
 //!
 //! Every rule honors the same `sor-check: allow(<id>)` comment
 //! mechanism as the lexical pass (same line, the line directly above,
@@ -32,13 +36,27 @@ pub mod concurrency_held;
 pub mod concurrency_rayon;
 pub mod dead_api;
 pub mod determinism;
+pub mod hotpath;
+pub mod hotpath_clone;
+pub mod hotpath_growth;
+pub mod hotpath_scan;
 pub mod layering;
 pub mod panics;
 
 /// Run every semantic rule over a loaded workspace.
 pub fn run_semantic(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    run_semantic_with_cost(ws, cfg).0
+}
+
+/// Like [`run_semantic`], also returning the per-entry hot-path cost
+/// report (empty when `[hotpath] entries` is unconfigured).
+pub fn run_semantic_with_cost(
+    ws: &Workspace,
+    cfg: &Config,
+) -> (Vec<Finding>, Vec<hotpath::EntryCost>) {
     let graph = ItemGraph::build(ws);
     let model = concurrency::Model::build(ws, &graph, cfg);
+    let hot = hotpath::Hot::build(ws, &graph, &model, cfg);
     let mut out = layering::run(ws, cfg);
     out.extend(panics::run(ws, &graph, cfg));
     out.extend(determinism::run(ws, cfg));
@@ -47,7 +65,12 @@ pub fn run_semantic(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
     out.extend(concurrency_held::run(ws, &graph, &model, cfg));
     out.extend(concurrency_atomics::run(ws, cfg));
     out.extend(concurrency_rayon::run(ws, &graph, &model, cfg));
-    out
+    out.extend(hotpath::run(ws, &graph, &hot, cfg));
+    out.extend(hotpath_clone::run(ws, &graph, &hot, cfg));
+    out.extend(hotpath_growth::run(ws, &graph, &hot, cfg));
+    out.extend(hotpath_scan::run(ws, &graph, &hot, cfg));
+    let cost = hotpath::cost_report(ws, &graph, &hot, cfg);
+    (out, cost)
 }
 
 /// Does the text after `marker`'s closing parenthesis on `line` carry a

@@ -209,4 +209,86 @@ mod tests {
         assert_eq!(s.strip_line(r#"let s = "first"#), r#"let s = ""#);
         assert_eq!(s.strip_line(r#"second .unwrap()" ; done"#), r#"" ; done"#);
     }
+
+    #[test]
+    fn raw_strings_span_lines_and_need_matching_hashes() {
+        let mut s = Stripper::new();
+        assert_eq!(
+            s.strip_line(r##"let s = r#"first panic!("##),
+            r#"let s = ""#
+        );
+        // a bare `"` does not end an r#".."# literal
+        assert_eq!(s.strip_line(r#"quote " inside .unwrap()"#), "");
+        assert_eq!(s.strip_line(r##"end"#; after();"##), r#""; after();"#);
+    }
+
+    #[test]
+    fn raw_string_with_embedded_quotes_is_one_literal() {
+        assert_eq!(
+            strip_line(r###"let s = r#"a "b" c"#; x()"###),
+            r#"let s = ""; x()"#
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        // plain byte string: the `b` survives as code, contents vanish
+        assert_eq!(strip_line(r#"let b = b"unwrap()";"#), r#"let b = b"";"#);
+        // raw byte string: the `br#` prefix is consumed with the literal
+        assert_eq!(
+            strip_line(r##"let b = br#"panic!(..)"#;"##),
+            r#"let b = "";"#
+        );
+    }
+
+    #[test]
+    fn identifier_tail_r_is_not_a_raw_string() {
+        // `var"x"` — the `r` belongs to the identifier, the quote opens a
+        // plain string.
+        assert_eq!(strip_line(r#"var".unwrap()";"#), r#"var"";"#);
+    }
+
+    #[test]
+    fn char_literals_containing_quotes() {
+        assert_eq!(strip_line(r"let q = '\'';"), "let q = '';");
+        assert_eq!(strip_line(r#"let q = '"';"#), "let q = '';");
+        // the double quote inside the char literal must not open a string
+        assert_eq!(
+            strip_line(r#"if c == '"' { x.unwrap() }"#),
+            "if c == '' { x.unwrap() }"
+        );
+    }
+
+    #[test]
+    fn escaped_backslash_closes_string() {
+        // "\\" is a complete literal; the text after it is code.
+        assert_eq!(
+            strip_line(r#"let s = "\\"; y.unwrap()"#),
+            r#"let s = ""; y.unwrap()"#
+        );
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let mut s = Stripper::new();
+        assert_eq!(
+            s.strip_line("a(); /* 1 /* 2 /* 3 */ still */ deep"),
+            "a(); "
+        );
+        assert_eq!(s.strip_line("more */ b();"), " b();");
+        assert_eq!(s.state, State::Code);
+    }
+
+    #[test]
+    fn division_and_comment_markers_in_strings_stay_code() {
+        assert_eq!(strip_line("let x = a / b / c;"), "let x = a / b / c;");
+        assert_eq!(
+            strip_line(r#"let s = "// not a comment";"#),
+            r#"let s = "";"#
+        );
+        assert_eq!(
+            strip_line(r#"let s = "/* nor this */"; t()"#),
+            r#"let s = ""; t()"#
+        );
+    }
 }

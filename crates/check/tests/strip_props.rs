@@ -1,0 +1,113 @@
+//! Property tests for the lexical stripper: however adversarial the
+//! input, stripping must preserve line structure (one stripped line per
+//! input line, in order), never grow a line, and never leave comment
+//! markers behind for the rule matchers to trip on.
+//!
+//! The vendored proptest stub generates numeric values only, so each
+//! case draws a seed and derives an adversarial document from it.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sor_check::items::parse_file;
+use sor_check::strip_line;
+use std::path::Path;
+
+/// Line fragments biased toward the constructs the stripper handles:
+/// strings, raw strings, char literals, lifetimes, comments, division.
+const FRAGMENTS: [&str; 16] = [
+    "let x = 1;",
+    r#""text with // and /* inside""#,
+    r##"r#"raw "quoted" text"#"##,
+    r#"r"raw text""#,
+    r#"b"bytes""#,
+    r"'\''",
+    r#"'"'"#,
+    "&'a str",
+    "// trailing comment",
+    "/* open",
+    "close */",
+    "a / b / c",
+    "\"unterminated",
+    "tail\"",
+    r#"r#"raw open"#,
+    "\\",
+];
+
+/// A pseudo-random multi-line document built from the fragment pool.
+fn document(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lines = rng.gen_range(0..12usize);
+    let mut doc = Vec::with_capacity(lines);
+    for _ in 0..lines {
+        let parts = rng.gen_range(0..4usize);
+        let line: Vec<&str> = (0..parts)
+            .map(|_| FRAGMENTS[rng.gen_range(0..FRAGMENTS.len())])
+            .collect();
+        doc.push(line.join(" "));
+    }
+    doc.join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One stripped line per input line, in order — the downstream
+    /// passes (loop depths, item spans, call refs) index lines 1:1.
+    #[test]
+    fn stripping_preserves_line_structure(seed in 0u64..100_000) {
+        let doc = document(seed);
+        let f = parse_file(Path::new("crates/core/src/p.rs"), "sor-core", &doc);
+        prop_assert_eq!(f.raw.len(), f.stripped.len());
+        prop_assert_eq!(f.raw.len(), doc.lines().count());
+    }
+
+    /// Stripping only removes: no line gains characters.
+    #[test]
+    fn stripping_never_grows_a_line(seed in 0u64..100_000) {
+        let doc = document(seed);
+        let f = parse_file(Path::new("crates/core/src/p.rs"), "sor-core", &doc);
+        for (raw, stripped) in f.raw.iter().zip(&f.stripped) {
+            prop_assert!(stripped.chars().count() <= raw.chars().count(),
+                "{:?} -> {:?}", raw, stripped);
+        }
+    }
+
+    /// Comment markers never survive into stripped output (a `//` or
+    /// `/*` in the output would mean a matcher can see comment text).
+    #[test]
+    fn no_comment_markers_survive(seed in 0u64..100_000) {
+        let doc = document(seed);
+        let f = parse_file(Path::new("crates/core/src/p.rs"), "sor-core", &doc);
+        for s in &f.stripped {
+            prop_assert!(!s.contains("//"), "{:?}", s);
+            prop_assert!(!s.contains("/*"), "{:?}", s);
+        }
+    }
+
+    /// Single-line stripping is deterministic and total (no panics) on
+    /// arbitrary byte soup, including non-ASCII.
+    #[test]
+    fn single_line_strip_is_total_and_deterministic(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0..48usize);
+        let line: String = (0..len)
+            .map(|_| {
+                // mix ASCII punctuation/identifiers with multi-byte chars
+                match rng.gen_range(0..8u32) {
+                    0 => '"',
+                    1 => '\'',
+                    2 => '/',
+                    3 => '\\',
+                    4 => '*',
+                    5 => 'r',
+                    6 => '→',
+                    _ => 'a',
+                }
+            })
+            .collect();
+        let a = strip_line(&line);
+        let b = strip_line(&line);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -47,6 +47,7 @@ use sor_graph::{dijkstra, Graph, NodeId, Path};
 use sor_oblivious::frt::FrtTree;
 use sor_oblivious::routing::{ObliviousRouting, PathDist};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Maximum hop length over the support of a path distribution.
 pub fn dist_dilation(dist: &PathDist) -> usize {
@@ -66,7 +67,7 @@ pub struct HopRouting {
     /// ≤ `stretch · max(h, hopdist(s,t))` hops.
     stretch: usize,
     hop_dists: Vec<Vec<u32>>,
-    cache: Mutex<HashMap<(NodeId, NodeId), PathDist>>,
+    cache: Mutex<HashMap<(NodeId, NodeId), Arc<PathDist>>>,
 }
 
 impl HopRouting {
@@ -144,10 +145,10 @@ impl ObliviousRouting for HopRouting {
         &self.g
     }
 
-    fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
+    fn path_distribution(&self, s: NodeId, t: NodeId) -> Arc<PathDist> {
         assert!(s != t);
         if let Some(d) = self.cache.lock().get(&(s, t)) {
-            return d.clone();
+            return Arc::clone(d);
         }
         let cap = self.hop_cap(s, t);
         let w = 1.0 / self.trees.len() as f64;
@@ -168,7 +169,8 @@ impl ObliviousRouting for HopRouting {
                 .map(|v| v.0)
                 .cmp(b.0.nodes().iter().map(|v| v.0))
         });
-        self.cache.lock().insert((s, t), dist.clone());
+        let dist = Arc::new(dist);
+        self.cache.lock().insert((s, t), Arc::clone(&dist));
         dist
     }
 
@@ -302,7 +304,7 @@ mod tests {
         let dist = r.path_distribution(NodeId(0), NodeId(15));
         let total: f64 = dist.iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        for (p, _) in &dist {
+        for (p, _) in dist.iter() {
             assert!(p.validate(r.graph()));
         }
     }

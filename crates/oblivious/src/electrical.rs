@@ -18,6 +18,7 @@ use crate::routing::{ObliviousRouting, PathDist};
 use parking_lot::Mutex;
 use sor_graph::{EdgeId, Graph, NodeId, Path};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Sparse symmetric Laplacian of a capacitated graph, with a CG solver.
 #[derive(Clone, Debug)]
@@ -197,7 +198,7 @@ pub fn decompose_flow(g: &Graph, s: NodeId, t: NodeId, mut flow: Vec<f64>) -> Pa
 pub struct ElectricalRouting {
     g: Graph,
     lap: Laplacian,
-    cache: Mutex<HashMap<(NodeId, NodeId), PathDist>>,
+    cache: Mutex<HashMap<(NodeId, NodeId), Arc<PathDist>>>,
 }
 
 impl ElectricalRouting {
@@ -217,10 +218,10 @@ impl ObliviousRouting for ElectricalRouting {
         &self.g
     }
 
-    fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
+    fn path_distribution(&self, s: NodeId, t: NodeId) -> Arc<PathDist> {
         assert!(s != t);
         if let Some(d) = self.cache.lock().get(&(s, t)) {
-            return d.clone();
+            return Arc::clone(d);
         }
         let n = self.g.num_nodes();
         let mut b = vec![0.0; n];
@@ -234,8 +235,8 @@ impl ObliviousRouting for ElectricalRouting {
             .iter()
             .map(|e| e.cap * (phi[e.u.index()] - phi[e.v.index()]))
             .collect();
-        let dist = decompose_flow(&self.g, s, t, flow);
-        self.cache.lock().insert((s, t), dist.clone());
+        let dist = Arc::new(decompose_flow(&self.g, s, t, flow));
+        self.cache.lock().insert((s, t), Arc::clone(&dist));
         dist
     }
 
@@ -284,7 +285,7 @@ mod tests {
         let r = ElectricalRouting::new(g);
         let dist = r.path_distribution(NodeId(0), NodeId(2));
         assert_eq!(dist.len(), 2);
-        for (_, w) in &dist {
+        for (_, w) in dist.iter() {
             assert!((w - 0.5).abs() < 1e-6, "{dist:?}");
         }
     }
@@ -310,7 +311,7 @@ mod tests {
         let dist = r.path_distribution(NodeId(0), NodeId(15));
         let total: f64 = dist.iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-6);
-        for (p, w) in &dist {
+        for (p, w) in dist.iter() {
             assert!(p.validate(r.graph()));
             assert_eq!(p.source(), NodeId(0));
             assert_eq!(p.target(), NodeId(15));

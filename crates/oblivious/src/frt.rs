@@ -126,7 +126,9 @@ impl FrtTree {
             for &ci in &frontier {
                 // Partition nodes[ci].vertices by their first π-center
                 // within `radius`.
-                let verts = nodes[ci].vertices.clone();
+                // take the vertex list (pushing children below needs `nodes`
+                // mutably) and restore it afterwards — no per-level copy.
+                let verts = std::mem::take(&mut nodes[ci].vertices);
                 let mut groups: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
                 for &v in &verts {
                     let center = pi
@@ -143,9 +145,11 @@ impl FrtTree {
                 if groups.len() == 1 && verts.len() > 1 {
                     // No refinement at this level — reuse the node at the
                     // next level instead of stacking unary chains.
+                    nodes[ci].vertices = verts;
                     next_frontier.push(ci);
                     continue;
                 }
+                nodes[ci].vertices = verts;
                 for (center, vs) in groups {
                     // Leader: the center itself if inside, else the
                     // π-minimal member (deterministic given π).

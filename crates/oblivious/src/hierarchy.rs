@@ -17,6 +17,7 @@ use parking_lot::Mutex;
 use rand::Rng;
 use sor_graph::{dijkstra, Graph, NodeId, Path};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// One cluster of a spectral hierarchy.
 #[derive(Clone, Debug)]
@@ -190,9 +191,13 @@ impl SpectralHierarchy {
         });
         let mut stack = vec![0usize];
         while let Some(ci) = stack.pop() {
-            let verts = clusters[ci].vertices.clone();
+            // take the vertex list (pushing children below needs `clusters`
+            // mutably) and restore it once the split is computed — no
+            // per-cluster copy of the vertex set.
+            let verts = std::mem::take(&mut clusters[ci].vertices);
             if verts.len() == 1 {
                 leaf_of[verts[0].index()] = ci;
+                clusters[ci].vertices = verts;
                 continue;
             }
             let (left, right) = if verts.len() == 2 {
@@ -201,6 +206,7 @@ impl SpectralHierarchy {
                 let emb = local_fiedler(g, &verts, w, rng);
                 sweep_cut(g, &verts, &emb, w)
             };
+            clusters[ci].vertices = verts;
             for side in [left, right] {
                 debug_assert!(!side.is_empty());
                 let idx = clusters.len();
@@ -332,7 +338,7 @@ impl SpectralHierarchy {
 pub struct HierRouting {
     g: Graph,
     hierarchies: Vec<SpectralHierarchy>,
-    cache: Mutex<HashMap<(NodeId, NodeId), PathDist>>,
+    cache: Mutex<HashMap<(NodeId, NodeId), Arc<PathDist>>>,
 }
 
 impl HierRouting {
@@ -382,10 +388,10 @@ impl ObliviousRouting for HierRouting {
         &self.g
     }
 
-    fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
+    fn path_distribution(&self, s: NodeId, t: NodeId) -> Arc<PathDist> {
         assert!(s != t);
         if let Some(d) = self.cache.lock().get(&(s, t)) {
-            return d.clone();
+            return Arc::clone(d);
         }
         let w = 1.0 / self.hierarchies.len() as f64;
         let mut merged: HashMap<Path, f64> = HashMap::new();
@@ -400,7 +406,8 @@ impl ObliviousRouting for HierRouting {
                 .map(|v| v.0)
                 .cmp(b.0.nodes().iter().map(|v| v.0))
         });
-        self.cache.lock().insert((s, t), dist.clone());
+        let dist = Arc::new(dist);
+        self.cache.lock().insert((s, t), Arc::clone(&dist));
         dist
     }
 

@@ -9,15 +9,16 @@ use crate::routing::{ObliviousRouting, PathDist};
 use parking_lot::Mutex;
 use sor_graph::{yen_ksp, Graph, NodeId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Uniform distribution over the `k` shortest `s`-`t` paths under a fixed
 /// length metric. Distributions are computed lazily (Yen's algorithm is
-/// expensive) and memoized.
+/// expensive) and memoized; hits hand out the shared `Arc`.
 pub struct KspRouting {
     g: Graph,
     k: usize,
     lengths: Vec<f64>,
-    cache: Mutex<HashMap<(NodeId, NodeId), PathDist>>,
+    cache: Mutex<HashMap<(NodeId, NodeId), Arc<PathDist>>>,
 }
 
 impl KspRouting {
@@ -57,16 +58,16 @@ impl ObliviousRouting for KspRouting {
         &self.g
     }
 
-    fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
+    fn path_distribution(&self, s: NodeId, t: NodeId) -> Arc<PathDist> {
         assert!(s != t);
         if let Some(d) = self.cache.lock().get(&(s, t)) {
-            return d.clone();
+            return Arc::clone(d);
         }
         let paths = yen_ksp(&self.g, s, t, self.k, &self.lengths);
         assert!(!paths.is_empty(), "pair {s}→{t} disconnected");
         let w = 1.0 / paths.len() as f64;
-        let dist: PathDist = paths.into_iter().map(|p| (p, w)).collect();
-        self.cache.lock().insert((s, t), dist.clone());
+        let dist = Arc::new(paths.into_iter().map(|p| (p, w)).collect::<PathDist>());
+        self.cache.lock().insert((s, t), Arc::clone(&dist));
         dist
     }
 
@@ -87,7 +88,7 @@ mod tests {
         let r = KspRouting::new(gen::cycle_graph(6), 2);
         let dist = r.path_distribution(NodeId(0), NodeId(3));
         assert_eq!(dist.len(), 2);
-        for (_, w) in &dist {
+        for (_, w) in dist.iter() {
             assert!((w - 0.5).abs() < 1e-12);
         }
     }
@@ -98,7 +99,7 @@ mod tests {
         let a = r.path_distribution(NodeId(0), NodeId(8));
         let b = r.path_distribution(NodeId(0), NodeId(8));
         assert_eq!(a.len(), b.len());
-        for ((p1, w1), (p2, w2)) in a.iter().zip(&b) {
+        for ((p1, w1), (p2, w2)) in a.iter().zip(b.iter()) {
             assert_eq!(p1, p2);
             assert_eq!(w1, w2);
         }

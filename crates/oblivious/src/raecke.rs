@@ -25,6 +25,7 @@ use parking_lot::Mutex;
 use rand::Rng;
 use sor_graph::{Graph, NodeId, Path};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tunables of the Räcke MWU loop, exposed for the ablation experiments.
 #[derive(Clone, Copy, Debug)]
@@ -51,7 +52,7 @@ impl RaeckeConfig {
 pub struct RaeckeRouting {
     g: Graph,
     trees: Vec<FrtTree>,
-    cache: Mutex<HashMap<(NodeId, NodeId), PathDist>>,
+    cache: Mutex<HashMap<(NodeId, NodeId), Arc<PathDist>>>,
 }
 
 impl RaeckeRouting {
@@ -112,10 +113,10 @@ impl ObliviousRouting for RaeckeRouting {
         &self.g
     }
 
-    fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
+    fn path_distribution(&self, s: NodeId, t: NodeId) -> Arc<PathDist> {
         assert!(s != t);
         if let Some(d) = self.cache.lock().get(&(s, t)) {
-            return d.clone();
+            return Arc::clone(d);
         }
         let w = 1.0 / self.trees.len() as f64;
         let mut merged: HashMap<Path, f64> = HashMap::new();
@@ -130,7 +131,8 @@ impl ObliviousRouting for RaeckeRouting {
                 .map(|v| v.0)
                 .cmp(b.0.nodes().iter().map(|v| v.0))
         });
-        self.cache.lock().insert((s, t), dist.clone());
+        let dist = Arc::new(dist);
+        self.cache.lock().insert((s, t), Arc::clone(&dist));
         dist
     }
 
@@ -164,7 +166,7 @@ mod tests {
         let dist = r.path_distribution(NodeId(0), NodeId(15));
         let total: f64 = dist.iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        for (p, w) in &dist {
+        for (p, w) in dist.iter() {
             assert!(*w > 0.0);
             assert!(p.validate(r.graph()));
         }

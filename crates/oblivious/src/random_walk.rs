@@ -8,6 +8,7 @@
 use crate::routing::{sample_from_dist, ObliviousRouting, PathDist};
 use rand::Rng;
 use sor_graph::{Graph, NodeId, Path};
+use std::sync::Arc;
 
 /// Routing whose `(s, t)` distribution is "run a random walk from `s`
 /// until it hits `t`, then erase loops". The distribution has exponential
@@ -74,7 +75,7 @@ impl ObliviousRouting for RandomWalkRouting {
         &self.g
     }
 
-    fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
+    fn path_distribution(&self, s: NodeId, t: NodeId) -> Arc<PathDist> {
         assert!(s != t);
         use rand::SeedableRng;
         // Per-pair deterministic stream so the "distribution" is a fixed
@@ -98,7 +99,7 @@ impl ObliviousRouting for RandomWalkRouting {
                 .map(|v| v.0)
                 .cmp(b.0.nodes().iter().map(|v| v.0))
         });
-        dist
+        Arc::new(dist)
     }
 
     fn sample_path<R: Rng + ?Sized>(&self, s: NodeId, t: NodeId, rng: &mut R) -> Path {
@@ -126,7 +127,7 @@ mod tests {
         let dist = r.path_distribution(NodeId(0), NodeId(8));
         let total: f64 = dist.iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        for (p, _) in &dist {
+        for (p, _) in dist.iter() {
             assert!(p.validate(r.graph()));
             assert_eq!(p.source(), NodeId(0));
             assert_eq!(p.target(), NodeId(8));
@@ -139,7 +140,7 @@ mod tests {
         let a = r.path_distribution(NodeId(0), NodeId(2));
         let b = r.path_distribution(NodeId(0), NodeId(2));
         assert_eq!(a.len(), b.len());
-        for ((p1, w1), (p2, w2)) in a.iter().zip(&b) {
+        for ((p1, w1), (p2, w2)) in a.iter().zip(b.iter()) {
             assert_eq!(p1, p2);
             assert!((w1 - w2).abs() < 1e-15);
         }

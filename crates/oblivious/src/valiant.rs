@@ -14,6 +14,7 @@
 use crate::routing::{ObliviousRouting, PathDist};
 use rand::Rng;
 use sor_graph::{gen::hypercube::dim_of, Graph, NodeId, Path};
+use std::sync::Arc;
 
 /// Bit-fixing walk from `a` to `b`: flips differing bits from least to
 /// most significant. Returns the node sequence (inclusive).
@@ -78,7 +79,7 @@ impl ObliviousRouting for ValiantHypercube {
 
     /// Uniform over intermediates: `2^d` (not necessarily distinct) paths,
     /// each with weight `2^{−d}`. Duplicate paths are merged.
-    fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
+    fn path_distribution(&self, s: NodeId, t: NodeId) -> Arc<PathDist> {
         assert!(s != t);
         let n = NodeId::from_usize(self.g.num_nodes()).0;
         let w_each = 1.0 / n as f64;
@@ -96,7 +97,7 @@ impl ObliviousRouting for ValiantHypercube {
                 .map(|v| v.0)
                 .cmp(b.0.nodes().iter().map(|v| v.0))
         });
-        dist
+        Arc::new(dist)
     }
 
     fn sample_path<R: Rng + ?Sized>(&self, s: NodeId, t: NodeId, rng: &mut R) -> Path {
@@ -132,12 +133,12 @@ impl ObliviousRouting for GreedyBitFix {
         &self.g
     }
 
-    fn path_distribution(&self, s: NodeId, t: NodeId) -> PathDist {
+    fn path_distribution(&self, s: NodeId, t: NodeId) -> Arc<PathDist> {
         assert!(s != t);
         let p = Path::from_nodes(&self.g, &bitfix_nodes(s.0, t.0, self.d))
             // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
             .expect("bitfix walks are simple");
-        vec![(p, 1.0)]
+        Arc::new(vec![(p, 1.0)])
     }
 
     fn name(&self) -> &'static str {

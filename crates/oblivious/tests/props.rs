@@ -24,7 +24,7 @@ fn check_routing<O: ObliviousRouting>(r: &O, s: NodeId, t: NodeId) -> Result<(),
         "{}: weights sum to {total}",
         r.name()
     );
-    for (p, w) in &dist {
+    for (p, w) in dist.iter() {
         prop_assert!(*w > 0.0);
         prop_assert!(p.validate(r.graph()), "{}: invalid path", r.name());
         prop_assert_eq!(p.source(), s);
@@ -100,7 +100,7 @@ fn valiant_routing_valid_exhaustive() {
         let dist = r.path_distribution(s, t);
         let total: f64 = dist.iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        for (p, _) in &dist {
+        for (p, _) in dist.iter() {
             assert!(p.validate(r.graph()));
         }
     }

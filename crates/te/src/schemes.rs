@@ -85,8 +85,8 @@ pub fn run_scheme(
             let ksp = KspRouting::inv_cap(g.clone(), s);
             let mut system = sor_core::PathSystem::new();
             for &(a, b) in &demand_pairs(demand) {
-                for (p, _) in ksp.path_distribution(a, b) {
-                    system.insert(a, b, p);
+                for (p, _) in ksp.path_distribution(a, b).iter() {
+                    system.insert(a, b, p.clone());
                 }
             }
             let sor = SemiObliviousRouting::new(g.clone(), system);

@@ -77,8 +77,8 @@ fn main() {
     // Congestion-only: all routes installed, rates minimize congestion.
     let ksp = KspRouting::new(g.clone(), p + 1);
     let mut system = PathSystem::new();
-    for (path, _) in ksp.path_distribution(s, t) {
-        system.insert(s, t, path);
+    for (path, _) in ksp.path_distribution(s, t).iter() {
+        system.insert(s, t, path.clone());
     }
     let sor_cong = SemiObliviousRouting::new(g.clone(), system);
     let routes_cong = routes_of(&sor_cong, &demand, 1);
