@@ -32,6 +32,7 @@ run_tsan() {
     cargo +nightly test -Zbuild-std --target "$host" \
     -p sor-serve --test cache_concurrency \
     -p sor-obs --test concurrency \
+    -p sor-obs --test window_concurrency \
     -- --test-threads=4 2>&1 | tee target/tsan/tsan.log
 }
 
@@ -87,15 +88,22 @@ cargo run -q --release -p sor-bench --bin tables -- \
   --exp e1 --quick --metrics-dir target/obs > /dev/null
 test -s target/obs/BENCH_e1.json
 
-echo "==> online serving smoke (5 epochs, failure + recovery, snapshot artifact)"
+echo "==> online serving smoke (5 epochs, failure + recovery, snapshot + timeline artifacts)"
 mkdir -p target/serve
 cargo run -q --release --bin sor -- serve --graph expander:16x4 \
   --epochs 5 --rate 8 --patterns 2 --fail-at 2 --restore-after 2 \
   --compare-fresh --seed 7 --quiet \
-  --metrics-out target/serve/serve-metrics.json > target/serve/serve-snapshot.txt
+  --metrics-out target/serve/serve-metrics.json \
+  --timeline-out target/serve/serve-timeline.json > target/serve/serve-snapshot.txt
 test -s target/serve/serve-snapshot.txt
 test -s target/serve/serve-metrics.json
 grep -q "hits=" target/serve/serve-snapshot.txt
+test -s target/serve/serve-timeline.json
+grep -q '"epochs"' target/serve/serve-timeline.json
+grep -q '"sor-timeline/1"' target/serve/serve-timeline.json
+
+echo "==> telemetry scrape smoke (loopback HTTP exposition via std TCP client)"
+cargo test -q --release -p sor-serve --test telemetry_scrape
 
 echo "==> perf gate (work + quality vs BENCH_BASELINE.json; wall excluded = noise-proof)"
 mkdir -p target/perf

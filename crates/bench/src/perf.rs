@@ -149,6 +149,7 @@ const BENCHES: &[(&str, BenchFn)] = &[
     ("kernel/adversary", kernels::adversary),
     ("kernel/serve_warm", kernels::serve_warm_cache),
     ("kernel/serve_failover", kernels::serve_failover),
+    ("kernel/telemetry_overhead", kernels::telemetry_overhead),
 ];
 
 /// Names of every bench in the suite, in order.

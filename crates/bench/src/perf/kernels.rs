@@ -683,3 +683,95 @@ pub fn serve_failover() -> Quality {
         q("failover/queue_drained", b01(engine.queue_depth() == 0)),
     ]
 }
+
+/// Telemetry-overhead gate: the same seeded serving workload runs once
+/// plain and once with the full live telemetry plane attached (windows,
+/// timeline, wall histograms, armed-but-unbreachable SLO watchdog). The
+/// published outputs must be bit-identical — the deterministic quality
+/// gate — and the instrumented wall stays within a loose multiple of
+/// the plain wall (generous slack: the point is catching a pathological
+/// regression like a lock held across a solve, not a 5% drift).
+pub fn telemetry_overhead() -> Quality {
+    use std::time::Instant;
+
+    let _span = sor_obs::span("perf/telemetry_overhead");
+    let g = gen::random_regular(24, 4, &mut rng_for(0x5f12));
+    let ecfg = EngineConfig {
+        sparsity: 4,
+        trees: 6,
+        epoch_batch: 24,
+        queue_bound: 48,
+        cache_capacity: 8,
+        compare_fresh: true,
+        seed: 0x5f12,
+        ..EngineConfig::default()
+    };
+    let wcfg = WorkloadConfig {
+        epochs: 6,
+        rate: 10,
+        patterns: 2,
+        pairs_per_pattern: 6,
+        fail_at: Some(3),
+        restore_after: 2,
+        seed: 0x5f12,
+    };
+
+    let t0 = Instant::now();
+    let plain = sor_serve::run_workload(&g, ecfg, &wcfg);
+    let plain_wall = t0.elapsed();
+
+    // ratio threshold the run can never trip deterministically; wall
+    // rules stay disabled so breach counts gate exactly
+    let slo = sor_obs::SloConfig {
+        max_congestion_ratio: Some(1e9),
+        max_p99_epoch_wall_ms: None,
+        min_cache_hit_rate: None,
+        max_fallback_fraction: Some(1.0),
+    };
+    let telemetry = std::sync::Arc::new(sor_serve::ServeTelemetry::new(slo));
+    let t1 = Instant::now();
+    let instrumented =
+        sor_serve::run_workload_with_telemetry(&g, ecfg, &wcfg, Some(telemetry.clone()));
+    let on_wall = t1.elapsed();
+
+    let bits = |r: &WorkloadReport| -> Vec<u64> {
+        r.snapshots
+            .iter()
+            .flat_map(|s| {
+                std::iter::once(s.congestion.to_bits()).chain(
+                    s.routes
+                        .iter()
+                        .flat_map(|pr| pr.paths.iter().map(|&(_, w)| w.to_bits())),
+                )
+            })
+            .collect()
+    };
+    let identical = bits(&plain) == bits(&instrumented);
+    // loose wall tolerance: 10x + 250ms absolute slack absorbs scheduler
+    // noise on tiny kernels while still catching catastrophic overhead
+    let wall_ok = on_wall <= plain_wall * 10 + std::time::Duration::from_millis(250);
+    let summary = telemetry.watchdog().summary();
+    let tail = telemetry.windows().snapshot();
+
+    vec![
+        q("telemetry/epochs", instrumented.snapshots.len() as f64),
+        q("telemetry/bit_identical", b01(identical)),
+        q("telemetry/wall_ok", b01(wall_ok)),
+        q("telemetry/ticks", telemetry.windows().ticks() as f64),
+        q("telemetry/timeline_len", telemetry.timeline().len() as f64),
+        q(
+            "telemetry/epochs_evaluated",
+            summary.epochs_evaluated as f64,
+        ),
+        q("telemetry/breaches", summary.total_breaches as f64),
+        q("telemetry/window_series", tail.len() as f64),
+        q(
+            "telemetry/cache_delta_sum",
+            instrumented
+                .snapshots
+                .iter()
+                .map(|s| s.cache.hits + s.cache.misses)
+                .sum::<u64>() as f64,
+        ),
+    ]
+}

@@ -1,0 +1,395 @@
+//! Prometheus-style text exposition and the scrape endpoint.
+//!
+//! [`render_prometheus`] turns a [`Snapshot`] into the text exposition
+//! format: counters as `# TYPE ... counter`, histograms as *cumulative*
+//! `_bucket{le="..."}` series ending in the mandatory `le="+Inf"` bucket
+//! (the PR-3 snapshot's `le: None` overflow bucket — rendering it as
+//! `+Inf` rather than dropping or NaN-ing it is the whole point), plus
+//! `_sum`/`_count`. Callers can append gauges (window rates, streaming
+//! percentiles, SLO breach counts) through [`PromGauges`].
+//!
+//! [`TelemetryServer`] serves the exposition over a plain
+//! `std::net::TcpListener` accept thread — no HTTP framework, HTTP/1.0
+//! responses, one request per connection, exactly what a Prometheus
+//! scraper or `curl` needs. Routing: `/metrics` (text exposition),
+//! `/timeline` (epoch timeline JSON), `/health` (SLO summary), anything
+//! else 404. The handler trait decouples the server from the serve
+//! crate; all rendering happens before any socket write and outside any
+//! registry lock.
+
+use crate::Snapshot;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sanitize a registry metric name into a Prometheus metric name:
+/// `serve/cache_hits` → `sor_serve_cache_hits`. Every non-alphanumeric
+/// byte becomes `_`, and everything gets the `sor_` namespace prefix.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("sor_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn push_prom_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else if v.is_nan() {
+        out.push_str("NaN");
+    } else if v > 0.0 {
+        out.push_str("+Inf");
+    } else {
+        out.push_str("-Inf");
+    }
+}
+
+/// Extra gauge samples appended to the exposition (window rates,
+/// percentiles, health counts — anything not in the registry proper).
+#[derive(Clone, Debug, Default)]
+pub struct PromGauges {
+    samples: Vec<(String, f64)>,
+}
+
+impl PromGauges {
+    /// An empty gauge set.
+    pub fn new() -> Self {
+        PromGauges::default()
+    }
+
+    /// Append one gauge; `name` is a registry-style name (it goes
+    /// through [`prom_name`]), `labels` is a pre-rendered label body
+    /// such as `window="10"` (empty for none).
+    pub fn push(&mut self, name: &str, labels: &str, value: f64) {
+        let rendered = if labels.is_empty() {
+            prom_name(name)
+        } else {
+            format!("{}{{{labels}}}", prom_name(name))
+        };
+        self.samples.push((rendered, value));
+    }
+
+    /// Number of gauges queued.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no gauge has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Render a [`Snapshot`] (plus optional extra gauges) as Prometheus text
+/// exposition format, deterministically (name-sorted input, stable
+/// bucket order).
+pub fn render_prometheus(snap: &Snapshot, gauges: &PromGauges) -> String {
+    let mut out = String::with_capacity(1024 + snap.num_metrics() * 128);
+    for c in &snap.counters {
+        let name = prom_name(&c.name);
+        out.push_str(&format!("# TYPE {name} counter\n"));
+        out.push_str(&format!("{name} {}\n", c.value));
+    }
+    for h in &snap.histograms {
+        let name = prom_name(&h.name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        // Prometheus buckets are cumulative and must end at le="+Inf";
+        // the snapshot's per-bucket counts (overflow bucket `le: None`
+        // last) accumulate into exactly that.
+        let mut cum = 0u64;
+        for b in &h.buckets {
+            cum += b.count;
+            out.push_str(&format!("{name}_bucket{{le=\""));
+            match b.le {
+                Some(edge) => push_prom_f64(&mut out, edge),
+                None => out.push_str("+Inf"),
+            }
+            out.push_str(&format!("\"}} {cum}\n"));
+        }
+        if !h.buckets.iter().any(|b| b.le.is_none()) {
+            // a histogram without an explicit overflow bucket still
+            // needs the mandatory +Inf series
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        }
+        out.push_str(&format!("{name}_sum "));
+        push_prom_f64(&mut out, h.sum);
+        out.push('\n');
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    let mut seen_type: Vec<&str> = Vec::new();
+    for (rendered, value) in &gauges.samples {
+        let base = rendered.split('{').next().unwrap_or(rendered);
+        if !seen_type.contains(&base) {
+            out.push_str(&format!("# TYPE {base} gauge\n"));
+            seen_type.push(base);
+        }
+        out.push_str(rendered);
+        out.push(' ');
+        push_prom_f64(&mut out, *value);
+        out.push('\n');
+    }
+    out
+}
+
+/// What the scrape endpoint serves; implemented by the serve crate's
+/// telemetry plane. Implementations must render entirely before
+/// returning (no locks escaping, no sockets touched).
+pub trait TelemetryHandler: Send + Sync {
+    /// Body for `GET /metrics` (Prometheus text exposition).
+    fn metrics(&self) -> String;
+    /// Body for `GET /timeline` (epoch timeline JSON).
+    fn timeline_json(&self) -> String;
+    /// Body for `GET /health` (SLO health summary, text).
+    fn health(&self) -> String;
+}
+
+/// A minimal scrape server: one accept thread on a
+/// `std::net::TcpListener`, HTTP/1.0, one request per connection.
+/// Shuts down on drop (a self-connection wakes the accept loop).
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral test port) and
+    /// start the accept thread.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        handler: Arc<dyn TelemetryHandler>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("sor-telemetry".to_string())
+            .spawn(move || accept_loop(&listener, &stop_flag, handler.as_ref()))?;
+        Ok(TelemetryServer {
+            addr: bound,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept thread and join it. Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(&mut self) {
+        // Relaxed: the flag carries no data — the wake-up connection and
+        // the join below provide all the synchronization shutdown needs.
+        self.stop.store(true, Ordering::Relaxed);
+        // wake the blocking accept with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, handler: &dyn TelemetryHandler) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // Relaxed: flag-only check, no ordering needed (see
+                // `shutdown`)
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        serve_one(stream, handler);
+    }
+}
+
+/// Read one request head (bounded, with a timeout) and answer it.
+fn serve_one(mut stream: TcpStream, handler: &dyn TelemetryHandler) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = String::from_utf8_lossy(&head);
+    let path = request_line
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" | "/" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            handler.metrics(),
+        ),
+        "/timeline" => ("200 OK", "application/json", handler.timeline_json()),
+        "/health" => ("200 OK", "text/plain; charset=utf-8", handler.health()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BucketCount, CounterSnapshot, HistogramSnapshot};
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            counters: vec![CounterSnapshot {
+                name: "serve/cache_hits".to_string(),
+                value: 42,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "serve/epoch_wall_ms".to_string(),
+                buckets: vec![
+                    BucketCount {
+                        le: Some(1.0),
+                        count: 2,
+                    },
+                    BucketCount {
+                        le: Some(8.0),
+                        count: 3,
+                    },
+                    BucketCount { le: None, count: 1 },
+                ],
+                count: 6,
+                sum: 19.5,
+            }],
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn names_are_sanitized_and_namespaced() {
+        assert_eq!(prom_name("serve/cache_hits"), "sor_serve_cache_hits");
+        assert_eq!(prom_name("slo/breaches"), "sor_slo_breaches");
+        assert_eq!(prom_name("a-b.c"), "sor_a_b_c");
+    }
+
+    #[test]
+    fn exposition_is_cumulative_with_inf_overflow() {
+        let text = render_prometheus(&sample_snapshot(), &PromGauges::new());
+        assert!(text.contains("# TYPE sor_serve_cache_hits counter\n"));
+        assert!(text.contains("sor_serve_cache_hits 42\n"));
+        assert!(text.contains("# TYPE sor_serve_epoch_wall_ms histogram\n"));
+        // cumulative: 2, then 2+3, then all 6 in the overflow bucket
+        assert!(text.contains("sor_serve_epoch_wall_ms_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("sor_serve_epoch_wall_ms_bucket{le=\"8\"} 5\n"));
+        assert!(
+            text.contains("sor_serve_epoch_wall_ms_bucket{le=\"+Inf\"} 6\n"),
+            "le:null must render as +Inf, got:\n{text}"
+        );
+        assert!(!text.contains("NaN"), "no NaN leaks from the overflow edge");
+        assert!(text.contains("sor_serve_epoch_wall_ms_sum 19.5\n"));
+        assert!(text.contains("sor_serve_epoch_wall_ms_count 6\n"));
+    }
+
+    #[test]
+    fn gauges_append_with_labels() {
+        let mut g = PromGauges::new();
+        assert!(g.is_empty());
+        g.push("serve/cache_hit_rate", "window=\"10\"", 0.875);
+        g.push("serve/epoch_wall_p99_ms", "", 12.0);
+        assert_eq!(g.len(), 2);
+        let text = render_prometheus(
+            &Snapshot {
+                counters: Vec::new(),
+                histograms: Vec::new(),
+                spans: Vec::new(),
+            },
+            &g,
+        );
+        assert!(text.contains("# TYPE sor_serve_cache_hit_rate gauge\n"));
+        assert!(text.contains("sor_serve_cache_hit_rate{window=\"10\"} 0.875\n"));
+        assert!(text.contains("sor_serve_epoch_wall_p99_ms 12\n"));
+    }
+
+    struct FixedHandler;
+    impl TelemetryHandler for FixedHandler {
+        fn metrics(&self) -> String {
+            "sor_test_metric 1\n".to_string()
+        }
+        fn timeline_json(&self) -> String {
+            "{\"format\":\"sor-timeline/1\",\"epochs\":[]}".to_string()
+        }
+        fn health(&self) -> String {
+            "health: ok (0 epochs, 0 breaches)\n".to_string()
+        }
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    #[test]
+    fn server_routes_and_shuts_down() {
+        let mut server =
+            TelemetryServer::start("127.0.0.1:0", Arc::new(FixedHandler)).expect("bind");
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0, "ephemeral port resolved");
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(metrics.contains("Content-Length:"));
+        assert!(metrics.ends_with("sor_test_metric 1\n"));
+        let timeline = get(addr, "/timeline");
+        assert!(timeline.contains("application/json"));
+        assert!(timeline.contains("sor-timeline/1"));
+        let health = get(addr, "/health");
+        assert!(health.contains("health: ok"));
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"));
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+}

@@ -37,17 +37,32 @@
 //! discipline as `sor-check`'s SARIF writer). The `sor` CLI exposes it
 //! as `--metrics-out FILE` / `--trace`, and `sor-bench` writes
 //! `BENCH_<experiment>.json` next to its result tables.
+//!
+//! # Live telemetry (v2)
+//!
+//! On top of the cumulative registry sits a live plane for long-running
+//! serving: [`window`] (sliding-window rates over deterministic ticks
+//! plus log-bucketed streaming percentiles), [`timeline`] (a bounded
+//! ring of per-epoch records), [`slo`] (declarative threshold
+//! watchdogs), and [`expose`] (Prometheus-style text exposition over a
+//! plain TCP scrape thread). All of it is read-only over recorded data
+//! — live telemetry can never perturb the bit-determinism contract.
 
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub mod expose;
 mod json;
 mod logging;
 mod metrics;
+pub mod slo;
 pub mod snapshot;
 mod span;
+pub mod timeline;
+pub mod window;
 
+pub use expose::{prom_name, render_prometheus, PromGauges, TelemetryHandler, TelemetryServer};
 pub use json::{parse_json, JsonError, JsonValue};
 pub use logging::{
     log, log_enabled, log_level, set_log_level, set_sink, take_captured, Level, Sink,
@@ -56,7 +71,10 @@ pub use metrics::{
     count, count_usize, counter, histogram, observe, registry, BucketCount, Counter,
     CounterSnapshot, Histogram, HistogramSnapshot, MetricsRegistry, POW2_BUCKETS, RATIO_BUCKETS,
 };
+pub use slo::{HealthSummary, SloBreach, SloConfig, SloInputs, SloWatchdog, SLO_RULES};
 pub use span::{phase_report, render_phase_tree, span, Span, SpanSnapshot};
+pub use timeline::{EpochRecord, EpochTimeline};
+pub use window::{LogHistogram, WindowRegistry, WindowSnapshot};
 
 /// Runtime capture switch (compile-time gated by the `capture` feature).
 static ENABLED: AtomicBool = AtomicBool::new(false);

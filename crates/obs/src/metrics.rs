@@ -77,6 +77,11 @@ impl Histogram {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
         );
+        debug_assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite — the overflow bucket (le: null / le=\"+Inf\") \
+             is implicit and always present"
+        );
         Histogram {
             bounds: bounds.to_vec(),
             buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),

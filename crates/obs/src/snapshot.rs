@@ -115,8 +115,11 @@ fn histogram_from_value(v: &JsonValue) -> Result<HistogramSnapshot, String> {
         .iter()
         .map(|b| {
             let le = match b.get("le") {
-                Some(JsonValue::Num(x)) => Some(*x),
-                Some(JsonValue::Null) => None,
+                // a non-finite edge (e.g. an overlarge literal that
+                // parsed to inf) is the overflow bucket, same as null —
+                // it must never round-trip into a Some(inf)/NaN edge
+                Some(JsonValue::Num(x)) if x.is_finite() => Some(*x),
+                Some(JsonValue::Num(_) | JsonValue::Null) => None,
                 _ => return Err(format!("histogram '{name}': bucket missing 'le'")),
             };
             Ok(BucketCount {
@@ -603,6 +606,32 @@ mod tests {
         // NaN sums on both sides don't trip the gate
         let d = diff(&back, &back, &DiffPolicy::default());
         assert_eq!(d.status(), DiffStatus::Pass);
+    }
+
+    #[test]
+    fn overflow_bucket_round_trips_without_nan() {
+        // writer: le: None renders as null; reader: null (or any
+        // non-finite numeric edge a foreign writer emits) maps back to
+        // None — never Some(inf)/NaN
+        let s = snap();
+        let text = s.to_json();
+        assert!(text.contains("\"le\": null"));
+        let (back, _) = parse_snapshot(&text).expect("parses");
+        assert_eq!(back.histograms[0].buckets[1].le, None);
+        assert!(back.histograms[0]
+            .buckets
+            .iter()
+            .all(|b| b.le.is_none() || b.le.is_some_and(f64::is_finite)));
+        // a foreign exposition that wrote an overlarge literal (parses
+        // to +inf) still lands in the overflow bucket
+        let foreign = text.replace("\"le\": null", "\"le\": 1e999");
+        let (back2, _) = parse_snapshot(&foreign).expect("parses");
+        assert_eq!(back2.histograms, s.histograms);
+        // and the Prometheus exposition of the round-tripped snapshot
+        // renders the overflow bucket as +Inf, not NaN
+        let prom = crate::render_prometheus(&back, &crate::PromGauges::new());
+        assert!(prom.contains("le=\"+Inf\""));
+        assert!(!prom.contains("NaN"));
     }
 
     #[test]

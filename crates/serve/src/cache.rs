@@ -126,6 +126,36 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// Per-epoch movement of the cache counters: the difference between two
+/// [`CacheStats`] snapshots. The engine stamps one of these into every
+/// [`EpochSnapshot`](crate::EpochSnapshot) so the timeline and the
+/// cumulative `--metrics-out` counters describe the same events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheDeltas {
+    /// Hits since the previous epoch's snapshot.
+    pub hits: u64,
+    /// Misses since the previous epoch's snapshot.
+    pub misses: u64,
+    /// LRU evictions since the previous epoch's snapshot.
+    pub evictions: u64,
+    /// Failure invalidations since the previous epoch's snapshot
+    /// (includes `fail_edges` calls between the two epochs).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Counter movement from `prev` to `self` (saturating: a counter
+    /// reset between snapshots reads as zero movement, not a wrap).
+    pub fn delta_since(&self, prev: &CacheStats) -> CacheDeltas {
+        CacheDeltas {
+            hits: self.hits.saturating_sub(prev.hits),
+            misses: self.misses.saturating_sub(prev.misses),
+            evictions: self.evictions.saturating_sub(prev.evictions),
+            invalidations: self.invalidations.saturating_sub(prev.invalidations),
+        }
+    }
+}
+
 /// Sharded LRU cache of sampled path systems (see module docs).
 pub struct PathSystemCache {
     shards: Vec<Shard>,
@@ -338,6 +368,25 @@ mod tests {
         assert!(cache.peek(&k2).is_some());
         assert_eq!(cache.stats().invalidations, 1);
         assert_eq!(cache.invalidate_edges(&[]), 0);
+    }
+
+    #[test]
+    fn stats_deltas_track_movement() {
+        let g = gen::cycle_graph(6);
+        let cache = PathSystemCache::new(4);
+        let before = cache.stats();
+        let key = CacheKey::new(&g, &[(NodeId(0), NodeId(3))], 2);
+        cache.get_or_insert_with(key, || system_for(&g, 0, 3));
+        cache.get_or_insert_with(key, || panic!("hit expected"));
+        let mid = cache.stats();
+        let d = mid.delta_since(&before);
+        assert_eq!(
+            (d.hits, d.misses, d.evictions, d.invalidations),
+            (1, 1, 0, 0)
+        );
+        // no movement ⇒ all-zero deltas; reversed order saturates to zero
+        assert_eq!(mid.delta_since(&mid), CacheDeltas::default());
+        assert_eq!(before.delta_since(&mid), CacheDeltas::default());
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! evicted deterministically, the engine RNG is a seeded `StdRng`, and
 //! the fresh-sample comparison derives its RNG from (seed, epoch).
 
-use crate::cache::{CacheKey, CacheStats, PathSystemCache};
+use crate::cache::{CacheDeltas, CacheKey, CacheStats, PathSystemCache};
+use crate::telemetry::{EpochWalls, ServeTelemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -30,6 +31,8 @@ use sor_graph::{EdgeId, Graph, NodeId};
 use sor_oblivious::RaeckeRouting;
 use sor_te::emergency_path;
 use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One routing request: `amount` units of flow from `src` to `dst`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -140,6 +143,10 @@ pub struct EpochSnapshot {
     /// Congestion of the resample-per-epoch baseline, when
     /// [`EngineConfig::compare_fresh`] is set.
     pub fresh_congestion: Option<f64>,
+    /// Cache counter movement attributable to this epoch (including any
+    /// `fail_edges` invalidations since the previous epoch) — per-epoch
+    /// deltas, where [`Engine::cache_stats`] gives lifetime totals.
+    pub cache: CacheDeltas,
     /// The rate assignment, one entry per served pair.
     pub routes: Vec<PublishedRoute>,
 }
@@ -157,9 +164,18 @@ impl EpochSnapshot {
             queue_depth,
             sparsity: 0,
             fresh_congestion: None,
+            cache: CacheDeltas::default(),
             routes: Vec::new(),
         }
     }
+}
+
+/// Per-epoch sub-phase wall clocks, populated only while telemetry is
+/// attached (wall time never reaches published output).
+#[derive(Clone, Copy, Default)]
+struct EpochTimings {
+    cache_lookup_ns: u64,
+    reopt_ns: u64,
 }
 
 /// The long-running engine (see module docs for the lifecycle).
@@ -174,6 +190,12 @@ pub struct Engine {
     epoch: u64,
     rejected: u64,
     last: Option<SemiObliviousRouting>,
+    last_stats: CacheStats,
+    telemetry: Option<Arc<ServeTelemetry>>,
+    /// Enqueue instants mirroring `queue`, kept only while telemetry is
+    /// attached (queue-wait percentiles).
+    queue_times: VecDeque<Instant>,
+    timings: EpochTimings,
 }
 
 impl Engine {
@@ -191,10 +213,28 @@ impl Engine {
             epoch: 0,
             rejected: 0,
             last: None,
+            last_stats: CacheStats::default(),
+            telemetry: None,
+            queue_times: VecDeque::new(),
+            timings: EpochTimings::default(),
             g,
             cfg,
             routing,
         }
+    }
+
+    /// Attach the live telemetry plane: every subsequent epoch records
+    /// walls, ticks the window registry, appends to the timeline, and
+    /// runs the SLO watchdog. Telemetry is strictly read-only over the
+    /// epoch's outputs — published routes/rates stay bit-identical with
+    /// or without it (the determinism test pins this).
+    pub fn attach_telemetry(&mut self, telemetry: Arc<ServeTelemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry plane, if any.
+    pub fn telemetry(&self) -> Option<&Arc<ServeTelemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Offer a request. Returns `false` (and counts a rejection) when the
@@ -210,6 +250,9 @@ impl Engine {
             self.rejected += 1;
             sor_obs::counter_add!("serve/requests_rejected");
             return false;
+        }
+        if self.telemetry.is_some() {
+            self.queue_times.push_back(Instant::now());
         }
         self.queue.push_back(req);
         true
@@ -238,6 +281,8 @@ impl Engine {
     /// Run one epoch: admit a batch, solve it on a cached (or freshly
     /// sampled) path system, publish the snapshot.
     pub fn run_epoch(&mut self) -> EpochSnapshot {
+        let epoch_start = self.telemetry.as_ref().map(|_| Instant::now());
+        self.timings = EpochTimings::default();
         let mut snap = {
             let _span = sor_obs::span("serve/epoch");
             self.run_epoch_inner()
@@ -246,6 +291,20 @@ impl Engine {
             // Sibling span, *outside* serve/epoch: the wall-time ratio of
             // the two spans is the cache's amortization factor.
             snap.fresh_congestion = Some(self.fresh_baseline(&snap));
+        }
+        // Per-epoch cache counter deltas are part of the published
+        // snapshot regardless of telemetry: the movement is exactly as
+        // deterministic as the lifetime counters it differences.
+        let stats = self.cache.stats();
+        snap.cache = stats.delta_since(&self.last_stats);
+        self.last_stats = stats;
+        if let Some(telemetry) = &self.telemetry {
+            let walls = EpochWalls {
+                epoch_ns: epoch_start.map_or(0, elapsed_ns),
+                reopt_ns: self.timings.reopt_ns,
+                cache_lookup_ns: self.timings.cache_lookup_ns,
+            };
+            telemetry.record_epoch(&snap, self.failed.len(), self.rejected, walls);
         }
         snap
     }
@@ -257,6 +316,15 @@ impl Engine {
 
         let take = self.cfg.epoch_batch.min(self.queue.len());
         let admitted: Vec<Request> = self.queue.drain(..take).collect();
+        if let Some(telemetry) = &self.telemetry {
+            // queue-wait percentiles for the admitted batch (enqueue
+            // instants are only mirrored while telemetry is attached)
+            for _ in 0..take.min(self.queue_times.len()) {
+                if let Some(t0) = self.queue_times.pop_front() {
+                    telemetry.observe_queue_wait_ns(elapsed_ns(t0));
+                }
+            }
+        }
         sor_obs::count_usize("serve/requests_admitted", admitted.len());
         #[allow(clippy::cast_precision_loss)]
         // sor-check: allow(lossy-cast) — queue depths are far below 2^52
@@ -269,6 +337,7 @@ impl Engine {
         let demand = Demand::from_triples(admitted.iter().map(|r| (r.src, r.dst, r.amount)));
         let pairs = demand_pairs(&demand);
         let key = CacheKey::new(&self.g, &pairs, self.cfg.sparsity);
+        let lookup_start = self.telemetry.as_ref().map(|_| Instant::now());
         let Engine {
             cache,
             routing,
@@ -280,6 +349,9 @@ impl Engine {
             let _span = sor_obs::span("serve/sample");
             sample_k(routing, &pairs, cfg.sparsity, rng).system
         });
+        if let Some(t0) = lookup_start {
+            self.timings.cache_lookup_ns = elapsed_ns(t0);
+        }
 
         let (system, fallback_pairs, unserved) =
             resolve_failures(&self.g, &sampled, &self.failed, &pairs);
@@ -316,6 +388,7 @@ impl Engine {
 
         let sparsity = system.sparsity();
         let sor = SemiObliviousRouting::new(self.g.clone(), system);
+        let reopt_start = self.telemetry.as_ref().map(|_| Instant::now());
         let (weights, congestion, lower_bound) = if self.cfg.integral && demand.is_integral() {
             let sol = sor.route_integral(&demand, self.cfg.eps, &mut self.rng);
             let weights: Vec<Vec<f64>> = sol
@@ -328,6 +401,9 @@ impl Engine {
             let sol = sor.route_fractional(&demand, self.cfg.eps);
             (sol.weights, sol.congestion, sol.lower_bound)
         };
+        if let Some(t0) = reopt_start {
+            self.timings.reopt_ns = elapsed_ns(t0);
+        }
 
         // Publish: per-commodity route extraction (rayon; the vendored
         // stand-in runs it sequentially, deterministically).
@@ -361,6 +437,7 @@ impl Engine {
             queue_depth: self.queue.len(),
             sparsity,
             fresh_congestion: None,
+            cache: CacheDeltas::default(),
             routes,
         };
         self.last = Some(sor);
@@ -430,6 +507,11 @@ impl Engine {
     pub fn last_system(&self) -> Option<&PathSystem> {
         self.last.as_ref().map(SemiObliviousRouting::system)
     }
+}
+
+/// Saturating nanoseconds since `t0` (u64 holds ~584 years).
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Apply the failure set to a sampled system: drop crossing paths, give
@@ -532,6 +614,28 @@ mod tests {
     }
 
     #[test]
+    fn snapshots_carry_per_epoch_cache_deltas() {
+        let mut eng = small_engine(false);
+        for i in 0..4u32 {
+            eng.ingest(Request::unit(NodeId(i), NodeId(7 - i)));
+        }
+        let first = eng.run_epoch();
+        assert_eq!((first.cache.hits, first.cache.misses), (0, 1));
+        for i in 0..4u32 {
+            eng.ingest(Request::unit(NodeId(i), NodeId(7 - i)));
+        }
+        let second = eng.run_epoch();
+        assert_eq!((second.cache.hits, second.cache.misses), (1, 0));
+        // per-epoch deltas sum to the lifetime totals
+        let st = eng.cache_stats();
+        assert_eq!(st.hits, first.cache.hits + second.cache.hits);
+        assert_eq!(st.misses, first.cache.misses + second.cache.misses);
+        // an empty epoch moves nothing
+        let idle = eng.run_epoch();
+        assert_eq!(idle.cache, CacheDeltas::default());
+    }
+
+    #[test]
     fn empty_epoch_is_empty() {
         let mut eng = small_engine(false);
         let snap = eng.run_epoch();
@@ -565,6 +669,9 @@ mod tests {
         eng.ingest(Request::unit(NodeId(0), NodeId(3)));
         let degraded = eng.run_epoch();
         assert!(!degraded.cache_hit, "invalidated entry cannot hit");
+        // the inter-epoch invalidation lands in this epoch's deltas
+        assert_eq!(degraded.cache.invalidations, 1);
+        assert_eq!(degraded.cache.misses, 1);
         assert!(degraded.congestion > 0.0);
         // every published route avoids the failed edge
         for r in &degraded.routes {

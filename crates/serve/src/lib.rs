@@ -15,19 +15,27 @@
 //!   solve (cached system, failures degrade + fall back) → publish.
 //! * [`workload`] — deterministic closed-loop arrival processes and
 //!   failure schedules for the CLI, benches, and tests.
+//! * [`telemetry`] — the live plane: per-epoch window rates, streaming
+//!   tail percentiles, the epoch timeline, SLO watchdogs, and the
+//!   Prometheus-style scrape endpoint (`sor serve --telemetry-addr`).
 //!
 //! Everything is bit-deterministic for a fixed seed, with or without
-//! `sor-obs` capture — the engine sits under the repo's perf gate.
+//! `sor-obs` capture *and* with or without telemetry attached — the
+//! engine sits under the repo's perf gate.
 
 #![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod engine;
+pub mod telemetry;
 pub mod workload;
 
-pub use cache::{graph_fingerprint, pairs_fingerprint, CacheKey, CacheStats, PathSystemCache};
+pub use cache::{
+    graph_fingerprint, pairs_fingerprint, CacheDeltas, CacheKey, CacheStats, PathSystemCache,
+};
 pub use engine::{Engine, EngineConfig, EpochSnapshot, PublishedRoute, Request};
+pub use telemetry::{EpochWalls, ServeTelemetry};
 pub use workload::{
-    matching_patterns, run_workload, run_workload_with_patterns, scenario_patterns, WorkloadConfig,
-    WorkloadReport,
+    matching_patterns, run_workload, run_workload_with_patterns, run_workload_with_telemetry,
+    scenario_patterns, WorkloadConfig, WorkloadReport,
 };

@@ -11,12 +11,14 @@
 
 use crate::cache::CacheStats;
 use crate::engine::{Engine, EngineConfig, EpochSnapshot, Request};
+use crate::telemetry::ServeTelemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sor_core::sample::demand_pairs;
 use sor_flow::demand::random_matching;
 use sor_graph::{connected_without, EdgeId, Graph, NodeId};
 use sor_te::Scenario;
+use std::sync::Arc;
 
 /// Arrival-process and schedule knobs (engine knobs live in
 /// [`EngineConfig`]).
@@ -149,9 +151,21 @@ pub fn scenario_patterns<R: Rng>(
 
 /// Run the closed loop with a [`matching_patterns`] pool.
 pub fn run_workload(g: &Graph, ecfg: EngineConfig, wcfg: &WorkloadConfig) -> WorkloadReport {
+    run_workload_with_telemetry(g, ecfg, wcfg, None)
+}
+
+/// [`run_workload`] with a live telemetry plane attached to the engine.
+/// Telemetry never changes the report (bit-identical snapshots either
+/// way); it only populates windows/timeline/SLO state as epochs run.
+pub fn run_workload_with_telemetry(
+    g: &Graph,
+    ecfg: EngineConfig,
+    wcfg: &WorkloadConfig,
+    telemetry: Option<Arc<ServeTelemetry>>,
+) -> WorkloadReport {
     let mut rng = StdRng::seed_from_u64(wcfg.seed ^ 0x5e57_ab1e);
     let patterns = matching_patterns(g, wcfg.patterns, wcfg.pairs_per_pattern, &mut rng);
-    run_workload_with_patterns(g, ecfg, wcfg, &patterns)
+    run_workload_inner(g, ecfg, wcfg, &patterns, telemetry)
 }
 
 /// Run the closed loop over an explicit pattern pool: each epoch picks a
@@ -163,6 +177,16 @@ pub fn run_workload_with_patterns(
     wcfg: &WorkloadConfig,
     patterns: &[Vec<(NodeId, NodeId)>],
 ) -> WorkloadReport {
+    run_workload_inner(g, ecfg, wcfg, patterns, None)
+}
+
+fn run_workload_inner(
+    g: &Graph,
+    ecfg: EngineConfig,
+    wcfg: &WorkloadConfig,
+    patterns: &[Vec<(NodeId, NodeId)>],
+    telemetry: Option<Arc<ServeTelemetry>>,
+) -> WorkloadReport {
     assert!(!patterns.is_empty(), "workload needs at least one pattern");
     assert!(patterns.iter().all(|p| !p.is_empty()), "empty pattern");
     let _span = sor_obs::span("serve/workload");
@@ -170,6 +194,9 @@ pub fn run_workload_with_patterns(
     // the caller reuses one seed for both.
     let mut rng = StdRng::seed_from_u64(wcfg.seed.wrapping_add(0xa11_1f0));
     let mut engine = Engine::new(g.clone(), ecfg);
+    if let Some(t) = telemetry {
+        engine.attach_telemetry(t);
+    }
     let mut snapshots = Vec::new();
     let mut failures = Vec::new();
     let mut admitted = 0usize;

@@ -13,8 +13,12 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sor_graph::gen;
-use sor_serve::{run_workload, EngineConfig, EpochSnapshot, WorkloadConfig, WorkloadReport};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use sor_obs::SloConfig;
+use sor_serve::{
+    run_workload, run_workload_with_telemetry, EngineConfig, EpochSnapshot, ServeTelemetry,
+    WorkloadConfig, WorkloadReport,
+};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 fn serial() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -24,6 +28,10 @@ fn serial() -> MutexGuard<'static, ()> {
 }
 
 fn run_once() -> WorkloadReport {
+    run_once_with(None)
+}
+
+fn run_once_with(telemetry: Option<Arc<ServeTelemetry>>) -> WorkloadReport {
     let g = gen::random_regular(20, 4, &mut StdRng::seed_from_u64(3));
     let ecfg = EngineConfig {
         sparsity: 3,
@@ -44,7 +52,10 @@ fn run_once() -> WorkloadReport {
         restore_after: 2,
         seed: 7,
     };
-    run_workload(&g, ecfg, &wcfg)
+    match telemetry {
+        Some(t) => run_workload_with_telemetry(&g, ecfg, &wcfg, Some(t)),
+        None => run_workload(&g, ecfg, &wcfg),
+    }
 }
 
 /// Everything a run decides, with floats pinned to their bit patterns
@@ -154,4 +165,33 @@ fn instrumented_run_records_serve_metrics() {
             .any(|s| s.path.last().is_some_and(|p| p == "serve/epoch")),
         "no serve/epoch span recorded"
     );
+}
+
+#[test]
+fn telemetry_plane_does_not_change_published_routes() {
+    let _guard = serial();
+    sor_obs::set_enabled(false);
+    sor_obs::reset();
+    let plain = run_once();
+
+    // full plane attached: armed SLO watchdog, windows, timeline, wall
+    // histograms — everything wall-clock-dependent stays off the
+    // published path, so the snapshots are still bit-identical
+    sor_obs::set_enabled(true);
+    sor_obs::reset();
+    let telemetry = Arc::new(ServeTelemetry::new(SloConfig::serving_defaults()));
+    let instrumented = run_once_with(Some(Arc::clone(&telemetry)));
+    sor_obs::set_enabled(false);
+
+    assert_eq!(
+        bits(&plain),
+        bits(&instrumented),
+        "attaching the live telemetry plane changed the serving output"
+    );
+    // and the plane actually observed the run: one tick and one timeline
+    // record per epoch
+    assert_eq!(telemetry.windows().ticks(), plain.snapshots.len() as u64);
+    assert_eq!(telemetry.timeline().len(), plain.snapshots.len());
+    let summary = telemetry.watchdog().summary();
+    assert_eq!(summary.epochs_evaluated, plain.snapshots.len() as u64);
 }

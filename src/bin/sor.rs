@@ -33,7 +33,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  sor info    --graph <spec> [--seed N]\n  sor eval    --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor sweep   --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]\n  sor sim     --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor serve   --graph <spec> [--epochs E] [--rate R] [--patterns P] [--pattern-pairs K]\n              [--s K] [--trees T] [--eps E] [--batch B] [--queue-bound Q] [--cache-cap C]\n              [--fail-at E] [--restore-after R] [--compare-fresh] [--integral] [--seed N]\n  sor export  --graph <spec> [--s K] [--trees T] [--demand spec] [--seed N]\n  sor process --graph <spec> [--s K] [--tau T] [--demand spec] [--seed N]\nobservability (any subcommand):\n  --trace             print the phase-tree timing report to stderr\n  --metrics-out FILE  write the metrics snapshot (counters/histograms/spans) as JSON\n  --quiet             silence diagnostic logging"
+        "usage:\n  sor info    --graph <spec> [--seed N]\n  sor eval    --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor sweep   --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]\n  sor sim     --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor serve   --graph <spec> [--epochs E] [--rate R] [--patterns P] [--pattern-pairs K]\n              [--s K] [--trees T] [--eps E] [--batch B] [--queue-bound Q] [--cache-cap C]\n              [--fail-at E] [--restore-after R] [--compare-fresh] [--integral] [--seed N]\n  sor export  --graph <spec> [--s K] [--trees T] [--demand spec] [--seed N]\n  sor process --graph <spec> [--s K] [--tau T] [--demand spec] [--seed N]\nobservability (any subcommand):\n  --trace             print the phase-tree timing report to stderr\n  --metrics-out FILE  write the metrics snapshot (counters/histograms/spans) as JSON\n  --quiet             silence diagnostic logging\nlive telemetry (serve only):\n  --telemetry-addr A  serve Prometheus exposition at A (e.g. 127.0.0.1:9100;\n                      port 0 binds an ephemeral port, printed to stderr)\n  --timeline-out FILE write the epoch timeline as JSON after the run\n  --dashboard         print the epoch timeline dashboard to stderr\n  --hold-ms MS        keep the scrape endpoint up MS ms after the run\n  --slo               arm the default SLO thresholds; or set individually:\n  --slo-max-ratio X --slo-max-p99-ms X --slo-min-hit-rate X --slo-max-fallback X"
     );
     exit(2)
 }
@@ -57,7 +57,12 @@ fn main() {
     }
     let trace = args.iter().any(|a| a == "--trace");
     let metrics_out = flag_value(&args, "--metrics-out").map(str::to_string);
-    if trace || metrics_out.is_some() {
+    // Live telemetry implies capture: windows/timeline tick over the
+    // registry, so the registry has to record.
+    let telemetry = flag_value(&args, "--telemetry-addr").is_some()
+        || flag_value(&args, "--timeline-out").is_some()
+        || args.iter().any(|a| a == "--dashboard");
+    if trace || metrics_out.is_some() || telemetry {
         semi_oblivious_routing::obs::set_enabled(true);
     }
     {
@@ -225,8 +230,56 @@ fn run(args: &[String]) {
                 ecfg.sparsity,
                 ecfg.trees
             );
+            // Live telemetry plane: any telemetry/SLO flag builds one;
+            // it attaches to the engine but never changes published
+            // output (stdout stays bit-deterministic for a fixed seed).
+            let slo = if args.iter().any(|a| a == "--slo") {
+                semi_oblivious_routing::obs::SloConfig::serving_defaults()
+            } else {
+                semi_oblivious_routing::obs::SloConfig {
+                    max_congestion_ratio: flag_value(args, "--slo-max-ratio").map(|v| {
+                        or_die(v.parse().map_err(|_| format!("bad --slo-max-ratio '{v}'")))
+                    }),
+                    max_p99_epoch_wall_ms: flag_value(args, "--slo-max-p99-ms").map(|v| {
+                        or_die(v.parse().map_err(|_| format!("bad --slo-max-p99-ms '{v}'")))
+                    }),
+                    min_cache_hit_rate: flag_value(args, "--slo-min-hit-rate").map(|v| {
+                        or_die(
+                            v.parse()
+                                .map_err(|_| format!("bad --slo-min-hit-rate '{v}'")),
+                        )
+                    }),
+                    max_fallback_fraction: flag_value(args, "--slo-max-fallback").map(|v| {
+                        or_die(
+                            v.parse()
+                                .map_err(|_| format!("bad --slo-max-fallback '{v}'")),
+                        )
+                    }),
+                }
+            };
+            let telemetry_addr = flag_value(args, "--telemetry-addr");
+            let timeline_out = flag_value(args, "--timeline-out");
+            let dashboard = args.iter().any(|a| a == "--dashboard");
+            let quiet = args.iter().any(|a| a == "--quiet");
+            let telemetry =
+                (telemetry_addr.is_some() || timeline_out.is_some() || dashboard || slo.is_armed())
+                    .then(|| std::sync::Arc::new(serve::ServeTelemetry::new(slo)));
+            let server = telemetry.as_ref().zip(telemetry_addr).map(|(t, addr)| {
+                let server = or_die(
+                    t.serve_http(addr)
+                        .map_err(|e| format!("cannot bind telemetry endpoint {addr}: {e}")),
+                );
+                if !quiet {
+                    eprintln!(
+                        "telemetry: scraping at http://{}/metrics",
+                        server.local_addr()
+                    );
+                }
+                server
+            });
             let started = std::time::Instant::now();
-            let report: serve::WorkloadReport = serve::run_workload(&g, ecfg, &wcfg);
+            let report: serve::WorkloadReport =
+                serve::run_workload_with_telemetry(&g, ecfg, &wcfg, telemetry.clone());
             let elapsed = started.elapsed();
             for s in &report.snapshots {
                 let hit = if s.admitted == 0 {
@@ -267,7 +320,7 @@ fn run(args: &[String]) {
             // Wall-clock throughput is run-dependent, so it goes to
             // stderr (respecting --quiet) and stdout stays
             // bit-deterministic for a fixed seed.
-            if !args.iter().any(|a| a == "--quiet") {
+            if !quiet {
                 eprintln!(
                     "serve throughput: {:.0} requests/s, {:.1} epochs/s ({} requests in {:.3}s)",
                     report.admitted as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -276,6 +329,25 @@ fn run(args: &[String]) {
                     elapsed.as_secs_f64()
                 );
             }
+            if let Some(t) = &telemetry {
+                // The timeline contains wall clocks, so the dashboard and
+                // the health summary go to stderr like the throughput line.
+                if dashboard && !quiet {
+                    eprint!("{}", t.timeline().render_dashboard());
+                    eprint!("{}", t.watchdog().summary().render());
+                }
+                if let Some(path) = timeline_out {
+                    if let Err(e) = std::fs::write(path, t.timeline().to_json()) {
+                        eprintln!("error: cannot write timeline to {path}: {e}");
+                        exit(1);
+                    }
+                }
+            }
+            let hold_ms: u64 = or_die(flag_parse(args, "--hold-ms", 0));
+            if hold_ms > 0 && server.is_some() {
+                std::thread::sleep(std::time::Duration::from_millis(hold_ms));
+            }
+            drop(server);
         }
         "eval" | "sweep" => {
             let eps: f64 = or_die(flag_parse(args, "--eps", 0.15));
