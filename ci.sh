@@ -102,6 +102,38 @@ test -s target/serve/serve-timeline.json
 grep -q '"epochs"' target/serve/serve-timeline.json
 grep -q '"sor-timeline/1"' target/serve/serve-timeline.json
 
+echo "==> flight recorder smoke (byte-neutral stdout, breach dumps, forensics attribution)"
+mkdir -p target/journal
+# Attaching the journal must not change published output: the same seeded
+# run with and without --journal-out emits byte-identical stdout.
+cargo run -q --release --bin sor -- serve --graph expander:16x4 \
+  --epochs 5 --rate 8 --patterns 2 --fail-at 2 --restore-after 2 \
+  --seed 9 --quiet > target/journal/plain.out
+cargo run -q --release --bin sor -- serve --graph expander:16x4 \
+  --epochs 5 --rate 8 --patterns 2 --fail-at 2 --restore-after 2 \
+  --seed 9 --quiet --journal-out target/journal/journal.json > target/journal/attached.out
+cmp target/journal/plain.out target/journal/attached.out
+test -s target/journal/journal.json
+grep -q '"sor-journal/1"' target/journal/journal.json
+# An unreachable hit-rate SLO breaches deterministically, so the engine
+# writes breach-stamped ring dumps; forensics must attribute the run's
+# congestion movement to the injected failure.
+rm -f target/journal/breach-epoch*.json
+cargo run -q --release --bin sor -- serve --graph grid:4x4 \
+  --epochs 8 --rate 4 --patterns 1 --pattern-pairs 2 \
+  --fail-at 3 --restore-after 2 --seed 11 --quiet \
+  --slo-min-hit-rate 2.0 \
+  --dump-on-breach target/journal/breach > /dev/null
+dump="$(ls target/journal/breach-epoch*.json | tail -n 1)"
+test -s "$dump"
+grep -q '"sor-journal/1"' "$dump"
+grep -q '"reason":"slo-breach"' "$dump"
+cargo run -q --release --bin sor -- forensics --journal "$dump" \
+  --json target/journal/forensics.json > target/journal/forensics.txt
+grep -q "top cause: failure" target/journal/forensics.txt
+grep -q '"sor-forensics/1"' target/journal/forensics.json
+grep -q '"top_cause":"failure"' target/journal/forensics.json
+
 echo "==> telemetry scrape smoke (loopback HTTP exposition via std TCP client)"
 cargo test -q --release -p sor-serve --test telemetry_scrape
 

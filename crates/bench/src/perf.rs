@@ -150,6 +150,7 @@ const BENCHES: &[(&str, BenchFn)] = &[
     ("kernel/serve_warm", kernels::serve_warm_cache),
     ("kernel/serve_failover", kernels::serve_failover),
     ("kernel/telemetry_overhead", kernels::telemetry_overhead),
+    ("kernel/journal_overhead", kernels::journal_overhead),
 ];
 
 /// Names of every bench in the suite, in order.

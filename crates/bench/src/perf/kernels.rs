@@ -775,3 +775,85 @@ pub fn telemetry_overhead() -> Quality {
         ),
     ]
 }
+
+/// Flight-recorder-overhead gate: the same seeded serving workload runs
+/// once plain and once with the journal attached. Published outputs
+/// must be bit-identical — attaching the recorder can never change a
+/// route — and the recorded wall stays within the telemetry gate's
+/// loose tolerance. Also pins the ring's accounting (begin/end brackets
+/// per epoch, zero drops at this scale) and the `sor-journal/1` dump
+/// round-trip through the hand-rolled parser.
+pub fn journal_overhead() -> Quality {
+    use std::time::Instant;
+
+    let _span = sor_obs::span("perf/journal_overhead");
+    let g = gen::random_regular(24, 4, &mut rng_for(0x10aa));
+    let ecfg = EngineConfig {
+        sparsity: 4,
+        trees: 6,
+        epoch_batch: 24,
+        queue_bound: 48,
+        cache_capacity: 8,
+        compare_fresh: true,
+        seed: 0x10aa,
+        ..EngineConfig::default()
+    };
+    let wcfg = WorkloadConfig {
+        epochs: 6,
+        rate: 10,
+        patterns: 2,
+        pairs_per_pattern: 6,
+        fail_at: Some(3),
+        restore_after: 2,
+        seed: 0x10aa,
+    };
+
+    let t0 = Instant::now();
+    let plain = sor_serve::run_workload(&g, ecfg, &wcfg);
+    let plain_wall = t0.elapsed();
+
+    let journal = std::sync::Arc::new(sor_obs::Journal::new());
+    let t1 = Instant::now();
+    let recorded = sor_serve::run_workload_with_observers(
+        &g,
+        ecfg,
+        &wcfg,
+        sor_serve::ServeObservers {
+            journal: Some(std::sync::Arc::clone(&journal)),
+            ..sor_serve::ServeObservers::default()
+        },
+    );
+    let on_wall = t1.elapsed();
+
+    let bits = |r: &WorkloadReport| -> Vec<u64> {
+        r.snapshots
+            .iter()
+            .flat_map(|s| {
+                std::iter::once(s.congestion.to_bits()).chain(
+                    s.routes
+                        .iter()
+                        .flat_map(|pr| pr.paths.iter().map(|&(_, w)| w.to_bits())),
+                )
+            })
+            .collect()
+    };
+    let identical = bits(&plain) == bits(&recorded);
+    let wall_ok = on_wall <= plain_wall * 10 + std::time::Duration::from_millis(250);
+
+    let events = journal.events();
+    let count = |tag: &str| events.iter().filter(|(_, e)| e.type_tag() == tag).count();
+    let dump = journal.dump_json(&[("source", "perf")]);
+    let round_trip = sor_obs::parse_journal(&dump).is_ok_and(|d| d.events.len() == events.len());
+
+    vec![
+        q("journal/epochs", recorded.snapshots.len() as f64),
+        q("journal/bit_identical", b01(identical)),
+        q("journal/wall_ok", b01(wall_ok)),
+        q("journal/events", events.len() as f64),
+        q("journal/epoch_begins", count("epoch_begin") as f64),
+        q("journal/epoch_ends", count("epoch_end") as f64),
+        q("journal/edge_fails", count("edge_fail") as f64),
+        q("journal/dropped", journal.dropped() as f64),
+        q("journal/round_trip", b01(round_trip)),
+    ]
+}

@@ -100,6 +100,11 @@ pub fn render_prometheus(snap: &Snapshot, gauges: &PromGauges) -> String {
         out.push_str(&format!("{name} {}\n", c.value));
     }
     for h in &snap.histograms {
+        if h.count == 0 {
+            // a registered-but-never-observed histogram has nothing to
+            // say; an all-zero bucket series only confuses scrapers
+            continue;
+        }
         let name = prom_name(&h.name);
         out.push_str(&format!("# TYPE {name} histogram\n"));
         // Prometheus buckets are cumulative and must end at le="+Inf";
@@ -148,6 +153,13 @@ pub trait TelemetryHandler: Send + Sync {
     fn metrics(&self) -> String;
     /// Body for `GET /timeline` (epoch timeline JSON).
     fn timeline_json(&self) -> String;
+    /// Body for `GET /timeline?last=N` — the same document truncated to
+    /// the most recent `last` epochs. The default ignores the truncation
+    /// and serves the full timeline.
+    fn timeline_json_last(&self, last: usize) -> String {
+        let _ = last;
+        self.timeline_json()
+    }
     /// Body for `GET /health` (SLO health summary, text).
     fn health(&self) -> String;
 }
@@ -251,14 +263,38 @@ fn serve_one(mut stream: TcpStream, handler: &dyn TelemetryHandler) {
         .next()
         .and_then(|l| l.split_whitespace().nth(1))
         .unwrap_or("/");
-    let (status, content_type, body) = match path {
-        "/metrics" | "/" => (
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, Some(q)),
+        None => (path, None),
+    };
+    let bad_request = || {
+        (
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "bad query string\n".to_string(),
+        )
+    };
+    let (status, content_type, body) = match route {
+        // only /timeline takes a query; a query anywhere else (or one
+        // that is not exactly `last=N`) is a 400, not a silent ignore
+        "/metrics" | "/" if query.is_none() => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
             handler.metrics(),
         ),
-        "/timeline" => ("200 OK", "application/json", handler.timeline_json()),
-        "/health" => ("200 OK", "text/plain; charset=utf-8", handler.health()),
+        "/timeline" => match query {
+            None => ("200 OK", "application/json", handler.timeline_json()),
+            Some(q) => match parse_timeline_query(q) {
+                Some(last) => (
+                    "200 OK",
+                    "application/json",
+                    handler.timeline_json_last(last),
+                ),
+                None => bad_request(),
+            },
+        },
+        "/health" if query.is_none() => ("200 OK", "text/plain; charset=utf-8", handler.health()),
+        "/metrics" | "/" | "/health" => bad_request(),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
@@ -271,6 +307,16 @@ fn serve_one(mut stream: TcpStream, handler: &dyn TelemetryHandler) {
     );
     let _ = stream.write_all(response.as_bytes());
     let _ = stream.flush();
+}
+
+/// Parse a `/timeline` query string: exactly one `last=N` parameter with
+/// a non-negative integer `N`. Anything else is malformed (`None`).
+fn parse_timeline_query(query: &str) -> Option<usize> {
+    let value = query.strip_prefix("last=")?;
+    if value.is_empty() || value.contains('=') || value.contains('&') {
+        return None;
+    }
+    value.parse::<usize>().ok()
 }
 
 #[cfg(test)]
@@ -349,6 +395,42 @@ mod tests {
         assert!(text.contains("sor_serve_epoch_wall_p99_ms 12\n"));
     }
 
+    #[test]
+    fn empty_histograms_are_skipped_in_exposition() {
+        let mut snap = sample_snapshot();
+        snap.histograms.push(HistogramSnapshot {
+            name: "serve/never_observed".to_string(),
+            buckets: vec![
+                BucketCount {
+                    le: Some(1.0),
+                    count: 0,
+                },
+                BucketCount { le: None, count: 0 },
+            ],
+            count: 0,
+            sum: 0.0,
+        });
+        let text = render_prometheus(&snap, &PromGauges::new());
+        assert!(
+            !text.contains("sor_serve_never_observed"),
+            "empty histogram must not render:\n{text}"
+        );
+        // the non-empty sibling still renders in full
+        assert!(text.contains("sor_serve_epoch_wall_ms_count 6\n"));
+    }
+
+    #[test]
+    fn timeline_query_parses_strictly() {
+        assert_eq!(parse_timeline_query("last=3"), Some(3));
+        assert_eq!(parse_timeline_query("last=0"), Some(0));
+        assert_eq!(parse_timeline_query(""), None);
+        assert_eq!(parse_timeline_query("last="), None);
+        assert_eq!(parse_timeline_query("last=abc"), None);
+        assert_eq!(parse_timeline_query("last=1&x=2"), None);
+        assert_eq!(parse_timeline_query("first=1"), None);
+        assert_eq!(parse_timeline_query("last=1=2"), None);
+    }
+
     struct FixedHandler;
     impl TelemetryHandler for FixedHandler {
         fn metrics(&self) -> String {
@@ -356,6 +438,9 @@ mod tests {
         }
         fn timeline_json(&self) -> String {
             "{\"format\":\"sor-timeline/1\",\"epochs\":[]}".to_string()
+        }
+        fn timeline_json_last(&self, last: usize) -> String {
+            format!("{{\"format\":\"sor-timeline/1\",\"last\":{last},\"epochs\":[]}}")
         }
         fn health(&self) -> String {
             "health: ok (0 epochs, 0 breaches)\n".to_string()
@@ -389,6 +474,22 @@ mod tests {
         assert!(health.contains("health: ok"));
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.0 404"));
+        // query handling: /timeline?last=N truncates, malformed is 400
+        let truncated = get(addr, "/timeline?last=2");
+        assert!(truncated.starts_with("HTTP/1.0 200"), "{truncated}");
+        assert!(truncated.contains("\"last\":2"), "{truncated}");
+        for bad in [
+            "/timeline?",
+            "/timeline?last=",
+            "/timeline?last=x",
+            "/metrics?x=1",
+        ] {
+            let resp = get(addr, bad);
+            assert!(
+                resp.starts_with("HTTP/1.0 400"),
+                "{bad} must 400, got: {resp}"
+            );
+        }
         server.shutdown();
         server.shutdown(); // idempotent
     }

@@ -1,0 +1,865 @@
+//! Flight recorder: a bounded, sharded ring journal of causal events.
+//!
+//! The timeline ([`crate::timeline`]) answers "what were the numbers
+//! around epoch 37"; the journal answers "what *happened*" — the causal
+//! chain of admissions, cache movements, failures, fallbacks, re-opt
+//! summaries, per-edge load concentrations, and per-pair path churn that
+//! explains *why* congestion moved. A long-running `sor serve` keeps the
+//! recent past in a fixed-size ring; when the SLO watchdog fires, the
+//! serving layer snapshots the ring to a breach-stamped dump that the
+//! `sor forensics` analyzer ([`crate::forensics`]) can attribute.
+//!
+//! Design constraints, in order:
+//!
+//! * **Zero cost detached.** Nothing global: the engine holds an
+//!   `Option<Arc<Journal>>` and emits only behind it. No atomics are
+//!   touched on the detached path.
+//! * **Bit-output-neutral attached.** Recording is strictly read-only
+//!   over the epoch's outputs — events carry copies of already-published
+//!   data, never feed anything back, and hold no wall clocks on the
+//!   deterministic path (the serve determinism test pins bit-equality of
+//!   published snapshots with the journal attached and detached).
+//! * **Bounded and cheap.** Eight shards, each a pre-sized
+//!   `Mutex<VecDeque>`; a global relaxed sequence counter round-robins
+//!   writers across shards, so concurrent emitters (engine thread vs. a
+//!   `fail_edges` caller) contend at 1/8 the rate. Past capacity the
+//!   oldest event in the shard is dropped and counted.
+//!
+//! The dump format is versioned (`sor-journal/1`), hand-rolled like
+//! every JSON writer in the tree, and round-trips through the PR-4
+//! reader ([`crate::parse_json`]) via [`parse_journal`].
+//!
+//! This crate sits at the bottom of the workspace layering (`sor-obs`
+//! depends on nothing), so events carry raw `u32` edge/node ids rather
+//! than `sor-graph` newtypes; the serving layer owns the translation.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of ring shards (writers round-robin by sequence number).
+pub const JOURNAL_SHARDS: usize = 8;
+
+/// Default total event capacity across all shards.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 8192;
+
+/// One edge's load in a top-k congestion record: raw edge id, absolute
+/// routed load, and load/capacity utilization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeLoad {
+    /// Raw edge id (`EdgeId.0` upstream).
+    pub edge: u32,
+    /// Routed load on the edge (sum of rates over paths crossing it).
+    pub load: f64,
+    /// `load / capacity` — the congestion contribution.
+    pub utilization: f64,
+}
+
+/// One structured causal event. Every variant is tagged with the epoch
+/// it belongs to (for failure/restore events: the next epoch to run,
+/// i.e. the first epoch the change affects).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalEvent {
+    /// An epoch started: queue depth at entry (before admission).
+    EpochBegin {
+        /// Epoch index.
+        epoch: u64,
+        /// Requests queued when the epoch began.
+        queue_depth: usize,
+    },
+    /// The epoch admitted a batch. `demand_fp` fingerprints the ordered
+    /// admitted pair set — the forensics analyzer compares consecutive
+    /// fingerprints to detect demand churn.
+    Admit {
+        /// Epoch index.
+        epoch: u64,
+        /// Requests admitted.
+        count: usize,
+        /// Fingerprint of the admitted pair set (0 for an empty epoch).
+        demand_fp: u64,
+    },
+    /// Backpressure rejections since the previous epoch.
+    Reject {
+        /// Epoch index.
+        epoch: u64,
+        /// Rejections attributed to this inter-epoch interval.
+        count: u64,
+    },
+    /// The path-system cache served the epoch's system.
+    CacheHit {
+        /// Epoch index.
+        epoch: u64,
+    },
+    /// The epoch sampled a fresh path system (cache miss).
+    CacheMiss {
+        /// Epoch index.
+        epoch: u64,
+    },
+    /// Capacity evictions attributed to this epoch.
+    CacheEvict {
+        /// Epoch index.
+        epoch: u64,
+        /// Entries evicted.
+        count: u64,
+    },
+    /// Failure-driven invalidations attributed to this epoch.
+    CacheInvalidate {
+        /// Epoch index.
+        epoch: u64,
+        /// Entries invalidated.
+        count: u64,
+    },
+    /// Edges went down (raw edge ids).
+    EdgeFail {
+        /// First epoch the failure affects.
+        epoch: u64,
+        /// Newly failed edge ids.
+        edges: Vec<u32>,
+    },
+    /// All failed edges came back up.
+    EdgeRestore {
+        /// First epoch the restore affects.
+        epoch: u64,
+        /// How many edges were restored.
+        restored: usize,
+    },
+    /// Pairs that lost every sampled candidate and were routed on an
+    /// emergency shortest path.
+    Fallback {
+        /// Epoch index.
+        epoch: u64,
+        /// Pairs falling back.
+        pairs: usize,
+    },
+    /// Pairs disconnected outright and dropped from the epoch.
+    Unserved {
+        /// Epoch index.
+        epoch: u64,
+        /// Pairs dropped.
+        pairs: usize,
+    },
+    /// Rate re-optimization summary for the epoch's solve.
+    Reopt {
+        /// Epoch index.
+        epoch: u64,
+        /// Commodities solved.
+        pairs: usize,
+        /// Achieved max edge congestion.
+        congestion: f64,
+        /// LP lower bound (0 for integral solves).
+        lower_bound: f64,
+        /// Whether the solve was integral.
+        integral: bool,
+    },
+    /// The k most utilized edges under the epoch's published routing.
+    TopEdges {
+        /// Epoch index.
+        epoch: u64,
+        /// Utilization-sorted (descending) edge loads.
+        edges: Vec<EdgeLoad>,
+    },
+    /// A served pair's path set changed (or appeared) relative to the
+    /// last epoch that served the pair.
+    PathChurn {
+        /// Epoch index.
+        epoch: u64,
+        /// Raw source node id.
+        src: u32,
+        /// Raw destination node id.
+        dst: u32,
+        /// `true` when the pair had never been served before.
+        new_pair: bool,
+    },
+    /// The epoch published: the summary counters a transition analysis
+    /// needs, plus the epoch wall when telemetry timing was on (0
+    /// otherwise — walls never feed the deterministic path).
+    EpochEnd {
+        /// Epoch index.
+        epoch: u64,
+        /// Requests admitted.
+        admitted: usize,
+        /// Whether the system came from the cache.
+        cache_hit: bool,
+        /// Published max edge congestion.
+        congestion: f64,
+        /// Pairs routed via fallback.
+        fallback_pairs: usize,
+        /// Pairs dropped as unserved.
+        unserved_pairs: usize,
+        /// Edges failed while the epoch ran.
+        failed_edges: usize,
+        /// Wall time of the epoch in nanoseconds (0 when timing is off).
+        epoch_wall_ns: u64,
+    },
+}
+
+impl JournalEvent {
+    /// The epoch this event is tagged with.
+    pub fn epoch(&self) -> u64 {
+        match *self {
+            JournalEvent::EpochBegin { epoch, .. }
+            | JournalEvent::Admit { epoch, .. }
+            | JournalEvent::Reject { epoch, .. }
+            | JournalEvent::CacheHit { epoch }
+            | JournalEvent::CacheMiss { epoch }
+            | JournalEvent::CacheEvict { epoch, .. }
+            | JournalEvent::CacheInvalidate { epoch, .. }
+            | JournalEvent::EdgeFail { epoch, .. }
+            | JournalEvent::EdgeRestore { epoch, .. }
+            | JournalEvent::Fallback { epoch, .. }
+            | JournalEvent::Unserved { epoch, .. }
+            | JournalEvent::Reopt { epoch, .. }
+            | JournalEvent::TopEdges { epoch, .. }
+            | JournalEvent::PathChurn { epoch, .. }
+            | JournalEvent::EpochEnd { epoch, .. } => epoch,
+        }
+    }
+
+    /// The stable `type` tag used in the dump format.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            JournalEvent::EpochBegin { .. } => "epoch_begin",
+            JournalEvent::Admit { .. } => "admit",
+            JournalEvent::Reject { .. } => "reject",
+            JournalEvent::CacheHit { .. } => "cache_hit",
+            JournalEvent::CacheMiss { .. } => "cache_miss",
+            JournalEvent::CacheEvict { .. } => "cache_evict",
+            JournalEvent::CacheInvalidate { .. } => "cache_invalidate",
+            JournalEvent::EdgeFail { .. } => "edge_fail",
+            JournalEvent::EdgeRestore { .. } => "edge_restore",
+            JournalEvent::Fallback { .. } => "fallback",
+            JournalEvent::Unserved { .. } => "unserved",
+            JournalEvent::Reopt { .. } => "reopt",
+            JournalEvent::TopEdges { .. } => "top_edges",
+            JournalEvent::PathChurn { .. } => "path_churn",
+            JournalEvent::EpochEnd { .. } => "epoch_end",
+        }
+    }
+}
+
+/// The bounded, sharded ring journal (see module docs).
+pub struct Journal {
+    shards: Vec<Mutex<VecDeque<(u64, JournalEvent)>>>,
+    shard_cap: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    last_epoch: AtomicU64,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// Journal with the default total capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Journal retaining roughly `capacity` events total across the
+    /// shards (rounded up to a multiple of [`JOURNAL_SHARDS`]). Each
+    /// shard's buffer is pre-sized so steady-state recording never
+    /// allocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let shard_cap = capacity.div_ceil(JOURNAL_SHARDS).max(1);
+        Journal {
+            shards: (0..JOURNAL_SHARDS)
+                .map(|_| Mutex::new(VecDeque::with_capacity(shard_cap)))
+                .collect(),
+            shard_cap,
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            last_epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Append one event: take a global sequence number, push into the
+    /// round-robin shard, drop (and count) the shard's oldest event past
+    /// capacity. One relaxed fetch-add plus one short shard lock.
+    pub fn record(&self, event: JournalEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.last_epoch.fetch_max(event.epoch(), Ordering::Relaxed);
+        let idx = usize::try_from(seq % JOURNAL_SHARDS as u64).unwrap_or(0);
+        let Some(shard) = self.shards.get(idx) else {
+            return; // unreachable: idx < JOURNAL_SHARDS by construction
+        };
+        let evicted = {
+            let mut ring = shard.lock();
+            // sor-check: allow(lock-order) — VecDeque::len on the live guard, not a re-acquisition
+            let full = ring.len() == self.shard_cap;
+            if full {
+                ring.pop_front();
+            }
+            ring.push_back((seq, event));
+            full
+        };
+        if evicted {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events currently retained (across all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (including dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Highest epoch tag seen so far.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Merged copy of the retained `(seq, event)` pairs in sequence
+    /// order. Shard locks are taken one at a time and released before
+    /// the sort — nothing expensive happens under a guard.
+    pub fn events(&self) -> Vec<(u64, JournalEvent)> {
+        let mut all: Vec<(u64, JournalEvent)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let ring = shard.lock();
+            all.extend(ring.iter().cloned());
+        }
+        all.sort_by_key(|&(seq, _)| seq);
+        all
+    }
+
+    /// Retained events tagged with epoch `>= min_epoch`, in sequence
+    /// order.
+    pub fn events_since_epoch(&self, min_epoch: u64) -> Vec<(u64, JournalEvent)> {
+        let mut all = self.events();
+        all.retain(|(_, e)| e.epoch() >= min_epoch);
+        all
+    }
+
+    /// Serialize the whole retained ring as a `sor-journal/1` document
+    /// with extra top-level string fields (`meta`).
+    pub fn dump_json(&self, meta: &[(&str, &str)]) -> String {
+        events_to_json(&self.events(), self.recorded(), self.dropped(), meta)
+    }
+
+    /// Serialize only the last `epochs` epochs of context (relative to
+    /// the highest epoch seen) — the breach-dump shape.
+    pub fn dump_json_last(&self, epochs: u64, meta: &[(&str, &str)]) -> String {
+        let min_epoch = self.last_epoch().saturating_sub(epochs.saturating_sub(1));
+        let events = if epochs == 0 {
+            self.events()
+        } else {
+            self.events_since_epoch(min_epoch)
+        };
+        events_to_json(&events, self.recorded(), self.dropped(), meta)
+    }
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_event_json(out: &mut String, seq: u64, e: &JournalEvent) {
+    out.push_str(&format!(
+        "{{\"seq\":{seq},\"type\":\"{}\",\"epoch\":{}",
+        e.type_tag(),
+        e.epoch()
+    ));
+    match e {
+        JournalEvent::EpochBegin { queue_depth, .. } => {
+            out.push_str(&format!(",\"queue_depth\":{queue_depth}"));
+        }
+        JournalEvent::Admit {
+            count, demand_fp, ..
+        } => {
+            out.push_str(&format!(",\"count\":{count},\"demand_fp\":{demand_fp}"));
+        }
+        JournalEvent::Reject { count, .. }
+        | JournalEvent::CacheEvict { count, .. }
+        | JournalEvent::CacheInvalidate { count, .. } => {
+            out.push_str(&format!(",\"count\":{count}"));
+        }
+        JournalEvent::CacheHit { .. } | JournalEvent::CacheMiss { .. } => {}
+        JournalEvent::EdgeFail { edges, .. } => {
+            out.push_str(",\"edges\":[");
+            for (i, id) in edges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{id}"));
+            }
+            out.push(']');
+        }
+        JournalEvent::EdgeRestore { restored, .. } => {
+            out.push_str(&format!(",\"restored\":{restored}"));
+        }
+        JournalEvent::Fallback { pairs, .. } | JournalEvent::Unserved { pairs, .. } => {
+            out.push_str(&format!(",\"pairs\":{pairs}"));
+        }
+        JournalEvent::Reopt {
+            pairs,
+            congestion,
+            lower_bound,
+            integral,
+            ..
+        } => {
+            out.push_str(&format!(",\"pairs\":{pairs},\"congestion\":"));
+            push_json_f64(out, *congestion);
+            out.push_str(",\"lower_bound\":");
+            push_json_f64(out, *lower_bound);
+            out.push_str(&format!(",\"integral\":{integral}"));
+        }
+        JournalEvent::TopEdges { edges, .. } => {
+            out.push_str(",\"edges\":[");
+            for (i, el) in edges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"edge\":{},\"load\":", el.edge));
+                push_json_f64(out, el.load);
+                out.push_str(",\"utilization\":");
+                push_json_f64(out, el.utilization);
+                out.push('}');
+            }
+            out.push(']');
+        }
+        JournalEvent::PathChurn {
+            src, dst, new_pair, ..
+        } => {
+            out.push_str(&format!(
+                ",\"src\":{src},\"dst\":{dst},\"new_pair\":{new_pair}"
+            ));
+        }
+        JournalEvent::EpochEnd {
+            admitted,
+            cache_hit,
+            congestion,
+            fallback_pairs,
+            unserved_pairs,
+            failed_edges,
+            epoch_wall_ns,
+            ..
+        } => {
+            out.push_str(&format!(
+                ",\"admitted\":{admitted},\"cache_hit\":{cache_hit},\"congestion\":"
+            ));
+            push_json_f64(out, *congestion);
+            out.push_str(&format!(
+                ",\"fallback_pairs\":{fallback_pairs},\"unserved_pairs\":{unserved_pairs},\
+                 \"failed_edges\":{failed_edges},\"epoch_wall_ns\":{epoch_wall_ns}"
+            ));
+        }
+    }
+    out.push('}');
+}
+
+fn events_to_json(
+    events: &[(u64, JournalEvent)],
+    recorded: u64,
+    dropped: u64,
+    meta: &[(&str, &str)],
+) -> String {
+    let mut out = String::with_capacity(256 + events.len() * 128);
+    out.push_str("{\"format\":\"sor-journal/1\"");
+    for (k, v) in meta {
+        // meta keys/values are caller-controlled identifiers and specs;
+        // escape the two characters that could break the document
+        let vq = v.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(",\"{k}\":\"{vq}\""));
+    }
+    out.push_str(&format!(",\"recorded\":{recorded},\"dropped\":{dropped}"));
+    out.push_str(",\"events\":[");
+    for (i, (seq, e)) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        push_event_json(&mut out, *seq, e);
+    }
+    if !events.is_empty() {
+        out.push_str("\n ");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// A parsed `sor-journal/1` document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalDump {
+    /// Top-level string metadata fields, in document order.
+    pub meta: Vec<(String, String)>,
+    /// Total events the recording journal ever saw.
+    pub recorded: u64,
+    /// Events the ring evicted before the dump.
+    pub dropped: u64,
+    /// The dumped `(seq, event)` pairs, in sequence order.
+    pub events: Vec<(u64, JournalEvent)>,
+}
+
+fn field_u64(v: &crate::JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(crate::JsonValue::as_u64)
+        .ok_or_else(|| format!("event missing numeric field '{key}'"))
+}
+
+fn field_usize(v: &crate::JsonValue, key: &str) -> Result<usize, String> {
+    usize::try_from(field_u64(v, key)?).map_err(|_| format!("field '{key}' out of range"))
+}
+
+fn field_u32(v: &crate::JsonValue, key: &str) -> Result<u32, String> {
+    u32::try_from(field_u64(v, key)?).map_err(|_| format!("field '{key}' out of range"))
+}
+
+fn field_f64(v: &crate::JsonValue, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        Some(crate::JsonValue::Num(x)) => Ok(*x),
+        Some(crate::JsonValue::Null) => Ok(f64::NAN),
+        _ => Err(format!("event missing numeric field '{key}'")),
+    }
+}
+
+fn field_bool(v: &crate::JsonValue, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        Some(crate::JsonValue::Bool(b)) => Ok(*b),
+        _ => Err(format!("event missing bool field '{key}'")),
+    }
+}
+
+fn parse_event(v: &crate::JsonValue) -> Result<(u64, JournalEvent), String> {
+    let seq = field_u64(v, "seq")?;
+    let epoch = field_u64(v, "epoch")?;
+    let tag = v
+        .get("type")
+        .and_then(crate::JsonValue::as_str)
+        .ok_or_else(|| "event missing 'type'".to_string())?;
+    let event = match tag {
+        "epoch_begin" => JournalEvent::EpochBegin {
+            epoch,
+            queue_depth: field_usize(v, "queue_depth")?,
+        },
+        "admit" => JournalEvent::Admit {
+            epoch,
+            count: field_usize(v, "count")?,
+            demand_fp: field_u64(v, "demand_fp")?,
+        },
+        "reject" => JournalEvent::Reject {
+            epoch,
+            count: field_u64(v, "count")?,
+        },
+        "cache_hit" => JournalEvent::CacheHit { epoch },
+        "cache_miss" => JournalEvent::CacheMiss { epoch },
+        "cache_evict" => JournalEvent::CacheEvict {
+            epoch,
+            count: field_u64(v, "count")?,
+        },
+        "cache_invalidate" => JournalEvent::CacheInvalidate {
+            epoch,
+            count: field_u64(v, "count")?,
+        },
+        "edge_fail" => {
+            let arr = v
+                .get("edges")
+                .and_then(crate::JsonValue::as_arr)
+                .ok_or_else(|| "edge_fail missing 'edges'".to_string())?;
+            let mut edges = Vec::with_capacity(arr.len());
+            for item in arr {
+                let id = item
+                    .as_u64()
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or_else(|| "bad edge id in edge_fail".to_string())?;
+                edges.push(id);
+            }
+            JournalEvent::EdgeFail { epoch, edges }
+        }
+        "edge_restore" => JournalEvent::EdgeRestore {
+            epoch,
+            restored: field_usize(v, "restored")?,
+        },
+        "fallback" => JournalEvent::Fallback {
+            epoch,
+            pairs: field_usize(v, "pairs")?,
+        },
+        "unserved" => JournalEvent::Unserved {
+            epoch,
+            pairs: field_usize(v, "pairs")?,
+        },
+        "reopt" => JournalEvent::Reopt {
+            epoch,
+            pairs: field_usize(v, "pairs")?,
+            congestion: field_f64(v, "congestion")?,
+            lower_bound: field_f64(v, "lower_bound")?,
+            integral: field_bool(v, "integral")?,
+        },
+        "top_edges" => {
+            let arr = v
+                .get("edges")
+                .and_then(crate::JsonValue::as_arr)
+                .ok_or_else(|| "top_edges missing 'edges'".to_string())?;
+            let mut edges = Vec::with_capacity(arr.len());
+            for item in arr {
+                edges.push(EdgeLoad {
+                    edge: field_u32(item, "edge")?,
+                    load: field_f64(item, "load")?,
+                    utilization: field_f64(item, "utilization")?,
+                });
+            }
+            JournalEvent::TopEdges { epoch, edges }
+        }
+        "path_churn" => JournalEvent::PathChurn {
+            epoch,
+            src: field_u32(v, "src")?,
+            dst: field_u32(v, "dst")?,
+            new_pair: field_bool(v, "new_pair")?,
+        },
+        "epoch_end" => JournalEvent::EpochEnd {
+            epoch,
+            admitted: field_usize(v, "admitted")?,
+            cache_hit: field_bool(v, "cache_hit")?,
+            congestion: field_f64(v, "congestion")?,
+            fallback_pairs: field_usize(v, "fallback_pairs")?,
+            unserved_pairs: field_usize(v, "unserved_pairs")?,
+            failed_edges: field_usize(v, "failed_edges")?,
+            epoch_wall_ns: field_u64(v, "epoch_wall_ns")?,
+        },
+        other => return Err(format!("unknown journal event type '{other}'")),
+    };
+    Ok((seq, event))
+}
+
+/// Parse a `sor-journal/1` document produced by [`Journal::dump_json`]
+/// (or a breach dump). Unknown top-level fields are ignored; unknown
+/// event types are an error (the format is versioned for exactly this).
+pub fn parse_journal(text: &str) -> Result<JournalDump, String> {
+    let doc = crate::parse_json(text).map_err(|e| format!("journal parse: {e}"))?;
+    match doc.get("format").and_then(crate::JsonValue::as_str) {
+        Some("sor-journal/1") => {}
+        Some(other) => return Err(format!("unsupported journal format '{other}'")),
+        None => return Err("not a sor-journal document (no 'format')".to_string()),
+    }
+    let mut meta = Vec::new();
+    if let Some(members) = doc.as_obj() {
+        for (k, v) in members {
+            if k == "format" {
+                continue;
+            }
+            if let Some(s) = v.as_str() {
+                meta.push((k.clone(), s.to_string()));
+            }
+        }
+    }
+    let recorded = doc
+        .get("recorded")
+        .and_then(crate::JsonValue::as_u64)
+        .unwrap_or(0);
+    let dropped = doc
+        .get("dropped")
+        .and_then(crate::JsonValue::as_u64)
+        .unwrap_or(0);
+    let arr = doc
+        .get("events")
+        .and_then(crate::JsonValue::as_arr)
+        .ok_or_else(|| "journal document has no 'events' array".to_string())?;
+    let mut events = Vec::with_capacity(arr.len());
+    for item in arr {
+        events.push(parse_event(item)?);
+    }
+    Ok(JournalDump {
+        meta,
+        recorded,
+        dropped,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::EpochBegin {
+                epoch: 0,
+                queue_depth: 8,
+            },
+            JournalEvent::Admit {
+                epoch: 0,
+                count: 8,
+                demand_fp: 0xdead_beef,
+            },
+            JournalEvent::Reject { epoch: 0, count: 2 },
+            JournalEvent::CacheMiss { epoch: 0 },
+            JournalEvent::Reopt {
+                epoch: 0,
+                pairs: 4,
+                congestion: 1.5,
+                lower_bound: 1.25,
+                integral: false,
+            },
+            JournalEvent::TopEdges {
+                epoch: 0,
+                edges: vec![
+                    EdgeLoad {
+                        edge: 3,
+                        load: 2.0,
+                        utilization: 1.5,
+                    },
+                    EdgeLoad {
+                        edge: 7,
+                        load: 1.0,
+                        utilization: 0.5,
+                    },
+                ],
+            },
+            JournalEvent::PathChurn {
+                epoch: 0,
+                src: 1,
+                dst: 6,
+                new_pair: true,
+            },
+            JournalEvent::EpochEnd {
+                epoch: 0,
+                admitted: 8,
+                cache_hit: false,
+                congestion: 1.5,
+                fallback_pairs: 0,
+                unserved_pairs: 0,
+                failed_edges: 0,
+                epoch_wall_ns: 0,
+            },
+            JournalEvent::EdgeFail {
+                epoch: 1,
+                edges: vec![4, 9],
+            },
+            JournalEvent::CacheInvalidate { epoch: 1, count: 1 },
+            JournalEvent::CacheHit { epoch: 1 },
+            JournalEvent::CacheEvict { epoch: 1, count: 1 },
+            JournalEvent::Fallback { epoch: 1, pairs: 2 },
+            JournalEvent::Unserved { epoch: 1, pairs: 1 },
+            JournalEvent::EdgeRestore {
+                epoch: 2,
+                restored: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn record_orders_by_sequence_across_shards() {
+        let j = Journal::new();
+        for e in sample_events() {
+            j.record(e);
+        }
+        let events = j.events();
+        assert_eq!(events.len(), 15);
+        assert_eq!(j.recorded(), 15);
+        assert_eq!(j.dropped(), 0);
+        assert_eq!(j.last_epoch(), 2);
+        let seqs: Vec<u64> = events.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seqs, (0..15).collect::<Vec<_>>());
+        assert_eq!(
+            events.iter().map(|(_, e)| e.clone()).collect::<Vec<_>>(),
+            sample_events()
+        );
+    }
+
+    #[test]
+    fn ring_bounds_capacity_and_counts_drops() {
+        let j = Journal::with_capacity(JOURNAL_SHARDS * 2); // 2 per shard
+        for i in 0..40u64 {
+            j.record(JournalEvent::CacheHit { epoch: i });
+        }
+        assert_eq!(j.len(), JOURNAL_SHARDS * 2);
+        assert_eq!(j.recorded(), 40);
+        assert_eq!(j.dropped(), 40 - (JOURNAL_SHARDS as u64) * 2);
+        // survivors are the most recent events
+        let events = j.events();
+        let min_seq = events.iter().map(|&(s, _)| s).min().unwrap_or(0);
+        assert!(min_seq >= 40 - (JOURNAL_SHARDS as u64) * 2);
+    }
+
+    #[test]
+    fn events_since_epoch_filters_context() {
+        let j = Journal::new();
+        for e in sample_events() {
+            j.record(e);
+        }
+        let tail = j.events_since_epoch(1);
+        assert_eq!(tail.len(), 7);
+        assert!(tail.iter().all(|(_, e)| e.epoch() >= 1));
+    }
+
+    #[test]
+    fn dump_round_trips_through_parser() {
+        let j = Journal::new();
+        for e in sample_events() {
+            j.record(e);
+        }
+        let json = j.dump_json(&[("reason", "test"), ("graph", "cycle:8")]);
+        let dump = parse_journal(&json).expect("round-trip parse");
+        assert_eq!(dump.recorded, 15);
+        assert_eq!(dump.dropped, 0);
+        assert!(dump.meta.iter().any(|(k, v)| k == "reason" && v == "test"));
+        assert!(dump
+            .meta
+            .iter()
+            .any(|(k, v)| k == "graph" && v == "cycle:8"));
+        assert_eq!(
+            dump.events
+                .iter()
+                .map(|(_, e)| e.clone())
+                .collect::<Vec<_>>(),
+            sample_events()
+        );
+    }
+
+    #[test]
+    fn dump_last_epochs_limits_context() {
+        let j = Journal::new();
+        for e in sample_events() {
+            j.record(e);
+        }
+        let json = j.dump_json_last(2, &[]);
+        let dump = parse_journal(&json).expect("parse tail dump");
+        // last 2 epochs relative to epoch 2 → epochs 1 and 2 only
+        assert!(dump.events.iter().all(|(_, e)| e.epoch() >= 1));
+        assert!(dump.events.iter().any(|(_, e)| e.epoch() == 2));
+        // 0 means "everything"
+        let full = parse_journal(&j.dump_json_last(0, &[])).expect("parse full dump");
+        assert_eq!(full.events.len(), 15);
+    }
+
+    #[test]
+    fn parser_rejects_foreign_documents() {
+        assert!(parse_journal("{\"format\":\"sor-timeline/1\",\"events\":[]}").is_err());
+        assert!(parse_journal("{\"events\":[]}").is_err());
+        assert!(parse_journal("[1,2,3]").is_err());
+        let bad_event =
+            "{\"format\":\"sor-journal/1\",\"events\":[{\"seq\":0,\"type\":\"warp\",\"epoch\":0}]}";
+        assert!(parse_journal(bad_event).is_err());
+    }
+
+    #[test]
+    fn meta_values_are_escaped() {
+        let j = Journal::new();
+        j.record(JournalEvent::CacheHit { epoch: 0 });
+        let json = j.dump_json(&[("note", "say \"hi\" \\ bye")]);
+        let dump = parse_journal(&json).expect("escaped meta parses");
+        assert!(dump
+            .meta
+            .iter()
+            .any(|(k, v)| k == "note" && v == "say \"hi\" \\ bye"));
+    }
+}

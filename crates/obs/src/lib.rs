@@ -47,12 +47,24 @@
 //! watchdogs), and [`expose`] (Prometheus-style text exposition over a
 //! plain TCP scrape thread). All of it is read-only over recorded data
 //! — live telemetry can never perturb the bit-determinism contract.
+//!
+//! # Flight recorder & forensics (v3)
+//!
+//! [`journal`] is a bounded, sharded ring of structured *causal* events
+//! (admissions, cache movements, failures, fallbacks, re-opt summaries,
+//! top-k edge loads, path churn) with a versioned `sor-journal/1` dump
+//! format; [`forensics`] ingests a dump and attributes epoch-over-epoch
+//! congestion/wall deltas to causes (failure vs. eviction vs. cold
+//! sampling vs. demand churn). The serving layer snapshots the ring on
+//! SLO breaches; `sor forensics` analyzes the artifact offline.
 
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub mod expose;
+pub mod forensics;
+pub mod journal;
 mod json;
 mod logging;
 mod metrics;
@@ -63,6 +75,14 @@ pub mod timeline;
 pub mod window;
 
 pub use expose::{prom_name, render_prometheus, PromGauges, TelemetryHandler, TelemetryServer};
+pub use forensics::{
+    analyze, fold_epochs, Cause, CauseAttribution, EdgeShift, EpochStats, EpochTransition,
+    ForensicsReport, CAUSES,
+};
+pub use journal::{
+    parse_journal, EdgeLoad, Journal, JournalDump, JournalEvent, DEFAULT_JOURNAL_CAPACITY,
+    JOURNAL_SHARDS,
+};
 pub use json::{parse_json, JsonError, JsonValue};
 pub use logging::{
     log, log_enabled, log_level, set_log_level, set_sink, take_captured, Level, Sink,

@@ -125,17 +125,16 @@ impl EpochTimeline {
     /// `{"format":"sor-timeline/1","epochs":[...]}`. Hand-rolled like
     /// the snapshot export; `null` for absent fresh baselines.
     pub fn to_json(&self) -> String {
+        render_records_json(&self.records())
+    }
+
+    /// [`EpochTimeline::to_json`] truncated to the most recent `last`
+    /// records (the `/timeline?last=N` endpoint; `last = 0` serves an
+    /// empty document).
+    pub fn to_json_last(&self, last: usize) -> String {
         let records = self.records();
-        let mut out = String::with_capacity(256 + records.len() * 256);
-        out.push_str("{\"format\":\"sor-timeline/1\",\"epochs\":[");
-        for (i, r) in records.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            push_record_json(&mut out, r);
-        }
-        out.push_str("]}");
-        out
+        let tail = records.len().saturating_sub(last);
+        render_records_json(records.get(tail..).unwrap_or(&[]))
     }
 
     /// Render the retained records as a fixed-width text dashboard.
@@ -184,6 +183,19 @@ impl EpochTimeline {
         }
         out
     }
+}
+
+fn render_records_json(records: &[EpochRecord]) -> String {
+    let mut out = String::with_capacity(256 + records.len() * 256);
+    out.push_str("{\"format\":\"sor-timeline/1\",\"epochs\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_record_json(&mut out, r);
+    }
+    out.push_str("]}");
+    out
 }
 
 fn push_f64(out: &mut String, v: f64) {
@@ -307,6 +319,79 @@ mod tests {
             .and_then(|b| b.as_arr())
             .expect("array");
         assert_eq!(breaches.len(), 1);
+    }
+
+    #[test]
+    fn ring_wraps_exactly_at_capacity() {
+        let t = EpochTimeline::with_capacity(4);
+        // fill to exactly capacity: nothing evicted
+        for e in 0..4 {
+            t.push(record(e));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(
+            t.records().iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // the next push evicts exactly the oldest
+        t.push(record(4));
+        assert_eq!(t.len(), 4, "capacity never exceeded");
+        assert_eq!(
+            t.records().iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn to_json_last_truncates_to_recent_epochs() {
+        let t = EpochTimeline::new();
+        for e in 0..5 {
+            t.push(record(e));
+        }
+        let json = t.to_json_last(2);
+        let v = crate::parse_json(&json).expect("valid JSON");
+        let epochs = v.get("epochs").and_then(|e| e.as_arr()).expect("array");
+        assert_eq!(epochs.len(), 2);
+        assert_eq!(epochs[0].get("epoch").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(epochs[1].get("epoch").and_then(|x| x.as_u64()), Some(4));
+        // over-asking serves everything; zero serves an empty document
+        let all = crate::parse_json(&t.to_json_last(100)).expect("valid");
+        assert_eq!(
+            all.get("epochs").and_then(|e| e.as_arr()).map(<[_]>::len),
+            Some(5)
+        );
+        let none = crate::parse_json(&t.to_json_last(0)).expect("valid");
+        assert_eq!(
+            none.get("epochs").and_then(|e| e.as_arr()).map(<[_]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn dashboard_survives_huge_cells_without_panicking() {
+        let t = EpochTimeline::new();
+        let mut r = record(0);
+        r.epoch = 12_345_678;
+        r.admitted = 9_999_999;
+        r.rejected = 1_000_000_000;
+        r.cache_hits = 88_888_888;
+        r.congestion = 123_456_789.5;
+        r.fresh_congestion = Some(9_876_543.25);
+        r.fallback_pairs = 7_000_000;
+        r.unserved_pairs = 8_000_000;
+        r.queue_depth = 2_000_000;
+        r.failed_edges = 3_000_000;
+        r.epoch_wall_ns = u64::MAX;
+        t.push(r);
+        let dash = t.render_dashboard();
+        let lines: Vec<&str> = dash.lines().collect();
+        assert_eq!(lines.len(), 2, "header + 1 epoch");
+        // fixed-width columns widen rather than truncate: every value
+        // survives verbatim
+        assert!(lines[1].contains("12345678"), "{dash}");
+        assert!(lines[1].contains("9999999"), "{dash}");
+        assert!(lines[1].contains("1000000000"), "{dash}");
+        assert!(lines[1].contains("123456789.5"), "{dash}");
     }
 
     #[test]

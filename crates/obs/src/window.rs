@@ -523,6 +523,21 @@ mod tests {
     }
 
     #[test]
+    fn empty_log_histogram_has_no_quantiles() {
+        let h = LogHistogram::new();
+        // no bucket-0 (or any) value may leak out of an empty histogram:
+        // every quantile, and the tail summary built from them, is None
+        for q in [0.0, 0.01, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q} on empty histogram");
+        }
+        assert_eq!(h.tail_summary(), None);
+        // the first observation flips every quantile to a real edge
+        h.observe(2.0);
+        assert!(h.quantile(0.5).is_some());
+        assert!(h.tail_summary().is_some());
+    }
+
+    #[test]
     fn log_histogram_underflow_and_merge() {
         let a = LogHistogram::new();
         let b = LogHistogram::new();

@@ -27,11 +27,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// FNV-1a 64-bit offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a 64-bit prime.
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
     let mut h = hash;
     for &b in bytes {
         h ^= u64::from(b);
@@ -40,7 +40,7 @@ fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-fn fnv1a_u64(hash: u64, v: u64) -> u64 {
+pub(crate) fn fnv1a_u64(hash: u64, v: u64) -> u64 {
     fnv1a(hash, &v.to_le_bytes())
 }
 

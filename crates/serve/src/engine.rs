@@ -19,7 +19,9 @@
 //! evicted deterministically, the engine RNG is a seeded `StdRng`, and
 //! the fresh-sample comparison derives its RNG from (seed, epoch).
 
-use crate::cache::{CacheDeltas, CacheKey, CacheStats, PathSystemCache};
+use crate::cache::{
+    fnv1a_u64, pairs_fingerprint, CacheDeltas, CacheKey, CacheStats, PathSystemCache, FNV_OFFSET,
+};
 use crate::telemetry::{EpochWalls, ServeTelemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,8 +31,9 @@ use sor_core::{PathSystem, SemiObliviousRouting};
 use sor_flow::Demand;
 use sor_graph::{EdgeId, Graph, NodeId};
 use sor_oblivious::RaeckeRouting;
+use sor_obs::{EdgeLoad, Journal, JournalEvent, SloBreach};
 use sor_te::emergency_path;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -178,6 +181,35 @@ struct EpochTimings {
     reopt_ns: u64,
 }
 
+/// Congested edges reported per `top_edges` journal event.
+const TOP_EDGES_K: usize = 8;
+
+/// Breach-triggered flight-recorder dumps: when an epoch trips any SLO
+/// rule and a journal is attached, the engine snapshots the ring's last
+/// `context_epochs` epochs to `{prefix}-epoch{NNNNNN}.json` (the
+/// `sor-journal/1` format `sor forensics` ingests).
+#[derive(Clone, Debug)]
+pub struct BreachDumpConfig {
+    /// Artifact path prefix (`{prefix}-epoch000042.json`).
+    pub prefix: String,
+    /// Epochs of journal context per dump (0 = everything still in the
+    /// ring).
+    pub context_epochs: u64,
+    /// Stop writing after this many dumps (a breach storm must not turn
+    /// the flight recorder into a disk-filling loop).
+    pub max_dumps: usize,
+}
+
+impl Default for BreachDumpConfig {
+    fn default() -> Self {
+        BreachDumpConfig {
+            prefix: "sor-breach".to_string(),
+            context_epochs: 16,
+            max_dumps: 16,
+        }
+    }
+}
+
 /// The long-running engine (see module docs for the lifecycle).
 pub struct Engine {
     g: Graph,
@@ -196,6 +228,16 @@ pub struct Engine {
     /// attached (queue-wait percentiles).
     queue_times: VecDeque<Instant>,
     timings: EpochTimings,
+    journal: Option<Arc<Journal>>,
+    dump_cfg: Option<BreachDumpConfig>,
+    breach_dumps: Vec<String>,
+    /// Rejection total at the last journaled epoch (reject events carry
+    /// per-epoch deltas).
+    journal_prev_rejected: u64,
+    /// Last published path-set fingerprint per pair — path-churn events
+    /// difference against this. BTreeMap: churn events come out in
+    /// deterministic pair order.
+    pair_fps: BTreeMap<(u32, u32), u64>,
 }
 
 impl Engine {
@@ -217,6 +259,11 @@ impl Engine {
             telemetry: None,
             queue_times: VecDeque::new(),
             timings: EpochTimings::default(),
+            journal: None,
+            dump_cfg: None,
+            breach_dumps: Vec::new(),
+            journal_prev_rejected: 0,
+            pair_fps: BTreeMap::new(),
             g,
             cfg,
             routing,
@@ -235,6 +282,32 @@ impl Engine {
     /// The attached telemetry plane, if any.
     pub fn telemetry(&self) -> Option<&Arc<ServeTelemetry>> {
         self.telemetry.as_ref()
+    }
+
+    /// Attach the flight recorder: every subsequent lifecycle step emits
+    /// a causal event into the ring. Like telemetry, the journal is
+    /// strictly read-only over the epoch's outputs — published snapshots
+    /// stay bit-identical with or without it (the determinism test pins
+    /// this), and a detached engine never touches the ring at all.
+    pub fn attach_journal(&mut self, journal: Arc<Journal>) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Arm breach-triggered dumps (requires an attached journal to have
+    /// any effect): epochs that trip an SLO rule snapshot the ring to
+    /// disk. See [`BreachDumpConfig`].
+    pub fn set_breach_dump(&mut self, cfg: BreachDumpConfig) {
+        self.dump_cfg = Some(cfg);
+    }
+
+    /// Paths of the breach dumps written so far, in breach order.
+    pub fn breach_dump_paths(&self) -> &[String] {
+        &self.breach_dumps
     }
 
     /// Offer a request. Returns `false` (and counts a rejection) when the
@@ -268,20 +341,44 @@ impl Engine {
             }
         }
         sor_obs::count_usize("serve/edge_failures", edges.len());
-        self.cache.invalidate_edges(edges)
+        let invalidated = self.cache.invalidate_edges(edges);
+        if let Some(journal) = &self.journal {
+            // Tagged with the *upcoming* epoch index: the failure takes
+            // effect on (and the invalidation misses land in) that epoch.
+            journal.record(JournalEvent::EdgeFail {
+                epoch: self.epoch,
+                edges: edges.iter().map(|e| e.0).collect(),
+            });
+            if invalidated > 0 {
+                journal.record(JournalEvent::CacheInvalidate {
+                    epoch: self.epoch,
+                    count: invalidated as u64,
+                });
+            }
+        }
+        invalidated
     }
 
     /// Bring every failed edge back up. Cached entries were sampled on
     /// the pristine graph and never contain emergency fallback paths, so
     /// no invalidation is needed.
     pub fn restore_all(&mut self) {
+        let restored = self.failed.len();
         self.failed.clear();
+        if restored > 0 {
+            if let Some(journal) = &self.journal {
+                journal.record(JournalEvent::EdgeRestore {
+                    epoch: self.epoch,
+                    restored,
+                });
+            }
+        }
     }
 
     /// Run one epoch: admit a batch, solve it on a cached (or freshly
     /// sampled) path system, publish the snapshot.
     pub fn run_epoch(&mut self) -> EpochSnapshot {
-        let epoch_start = self.telemetry.as_ref().map(|_| Instant::now());
+        let epoch_start = (self.telemetry.is_some() || self.journal.is_some()).then(Instant::now);
         self.timings = EpochTimings::default();
         let mut snap = {
             let _span = sor_obs::span("serve/epoch");
@@ -298,21 +395,96 @@ impl Engine {
         let stats = self.cache.stats();
         snap.cache = stats.delta_since(&self.last_stats);
         self.last_stats = stats;
+        let epoch_wall_ns = epoch_start.map_or(0, elapsed_ns);
+        if let Some(journal) = &self.journal {
+            if snap.cache.evictions > 0 {
+                journal.record(JournalEvent::CacheEvict {
+                    epoch: snap.epoch,
+                    count: snap.cache.evictions,
+                });
+            }
+            journal.record(JournalEvent::EpochEnd {
+                epoch: snap.epoch,
+                admitted: snap.admitted,
+                cache_hit: snap.cache_hit,
+                congestion: snap.congestion,
+                fallback_pairs: snap.fallback_pairs,
+                unserved_pairs: snap.unserved_pairs,
+                failed_edges: self.failed.len(),
+                epoch_wall_ns,
+            });
+        }
         if let Some(telemetry) = &self.telemetry {
             let walls = EpochWalls {
-                epoch_ns: epoch_start.map_or(0, elapsed_ns),
+                epoch_ns: epoch_wall_ns,
                 reopt_ns: self.timings.reopt_ns,
                 cache_lookup_ns: self.timings.cache_lookup_ns,
             };
-            telemetry.record_epoch(&snap, self.failed.len(), self.rejected, walls);
+            let breaches = telemetry.record_epoch(&snap, self.failed.len(), self.rejected, walls);
+            if !breaches.is_empty() {
+                self.dump_on_breach(snap.epoch, &breaches);
+            }
         }
         snap
+    }
+
+    /// Breach reaction: snapshot the flight recorder's recent epochs to a
+    /// breach-stamped artifact (no-op without both a journal and an armed
+    /// [`BreachDumpConfig`]; capped at `max_dumps`).
+    fn dump_on_breach(&mut self, epoch: u64, breaches: &[SloBreach]) {
+        let (Some(journal), Some(cfg)) = (&self.journal, &self.dump_cfg) else {
+            return;
+        };
+        if self.breach_dumps.len() >= cfg.max_dumps {
+            return;
+        }
+        let rules = breaches
+            .iter()
+            .map(|b| b.rule)
+            .collect::<Vec<_>>()
+            .join(",");
+        let epoch_str = epoch.to_string();
+        let doc = journal.dump_json_last(
+            cfg.context_epochs,
+            &[
+                ("reason", "slo-breach"),
+                ("breach_epoch", epoch_str.as_str()),
+                ("rules", rules.as_str()),
+            ],
+        );
+        let path = format!("{}-epoch{epoch:06}.json", cfg.prefix);
+        match std::fs::write(&path, doc) {
+            Ok(()) => {
+                sor_obs::warn!("epoch {epoch}: SLO breach ({rules}); journal dumped to {path}");
+                self.breach_dumps.push(path);
+            }
+            Err(e) => {
+                sor_obs::warn!(
+                    "epoch {epoch}: SLO breach ({rules}); journal dump to {path} failed: {e}"
+                );
+            }
+        }
     }
 
     fn run_epoch_inner(&mut self) -> EpochSnapshot {
         let epoch = self.epoch;
         self.epoch += 1;
         sor_obs::counter_add!("serve/epochs");
+
+        if let Some(journal) = &self.journal {
+            journal.record(JournalEvent::EpochBegin {
+                epoch,
+                queue_depth: self.queue.len(),
+            });
+            let rejected_delta = self.rejected.saturating_sub(self.journal_prev_rejected);
+            if rejected_delta > 0 {
+                journal.record(JournalEvent::Reject {
+                    epoch,
+                    count: rejected_delta,
+                });
+            }
+            self.journal_prev_rejected = self.rejected;
+        }
 
         let take = self.cfg.epoch_batch.min(self.queue.len());
         let admitted: Vec<Request> = self.queue.drain(..take).collect();
@@ -336,6 +508,13 @@ impl Engine {
 
         let demand = Demand::from_triples(admitted.iter().map(|r| (r.src, r.dst, r.amount)));
         let pairs = demand_pairs(&demand);
+        if let Some(journal) = &self.journal {
+            journal.record(JournalEvent::Admit {
+                epoch,
+                count: admitted.len(),
+                demand_fp: pairs_fingerprint(&pairs),
+            });
+        }
         let key = CacheKey::new(&self.g, &pairs, self.cfg.sparsity);
         let lookup_start = self.telemetry.as_ref().map(|_| Instant::now());
         let Engine {
@@ -352,6 +531,13 @@ impl Engine {
         if let Some(t0) = lookup_start {
             self.timings.cache_lookup_ns = elapsed_ns(t0);
         }
+        if let Some(journal) = &self.journal {
+            journal.record(if cache_hit {
+                JournalEvent::CacheHit { epoch }
+            } else {
+                JournalEvent::CacheMiss { epoch }
+            });
+        }
 
         let (system, fallback_pairs, unserved) =
             resolve_failures(&self.g, &sampled, &self.failed, &pairs);
@@ -361,6 +547,12 @@ impl Engine {
                  emergency shortest-path fallback installed"
             );
             sor_obs::count_usize("serve/fallback_pairs", fallback_pairs);
+            if let Some(journal) = &self.journal {
+                journal.record(JournalEvent::Fallback {
+                    epoch,
+                    pairs: fallback_pairs,
+                });
+            }
         }
         let demand = if unserved.is_empty() {
             demand
@@ -370,6 +562,12 @@ impl Engine {
                 unserved.len()
             );
             sor_obs::count_usize("serve/unserved_pairs", unserved.len());
+            if let Some(journal) = &self.journal {
+                journal.record(JournalEvent::Unserved {
+                    epoch,
+                    pairs: unserved.len(),
+                });
+            }
             Demand::from_triples(
                 demand
                     .entries()
@@ -389,7 +587,8 @@ impl Engine {
         let sparsity = system.sparsity();
         let sor = SemiObliviousRouting::new(self.g.clone(), system);
         let reopt_start = self.telemetry.as_ref().map(|_| Instant::now());
-        let (weights, congestion, lower_bound) = if self.cfg.integral && demand.is_integral() {
+        let integral_solve = self.cfg.integral && demand.is_integral();
+        let (weights, congestion, lower_bound) = if integral_solve {
             let sol = sor.route_integral(&demand, self.cfg.eps, &mut self.rng);
             let weights: Vec<Vec<f64>> = sol
                 .counts
@@ -426,6 +625,17 @@ impl Engine {
             })
             .collect();
 
+        if self.journal.is_some() {
+            self.journal_solve_events(
+                epoch,
+                &demand,
+                &routes,
+                congestion,
+                lower_bound,
+                integral_solve,
+            );
+        }
+
         let snap = EpochSnapshot {
             epoch,
             admitted: admitted.len(),
@@ -442,6 +652,90 @@ impl Engine {
         };
         self.last = Some(sor);
         snap
+    }
+
+    /// Journal the solve's outcome: the re-opt summary, the top-k most
+    /// utilized edges of the published assignment, and per-pair path
+    /// churn vs. the previous publication. Only called while a journal is
+    /// attached, so the load/fingerprint passes cost a detached engine
+    /// nothing.
+    fn journal_solve_events(
+        &mut self,
+        epoch: u64,
+        demand: &Demand,
+        routes: &[PublishedRoute],
+        congestion: f64,
+        lower_bound: f64,
+        integral: bool,
+    ) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        journal.record(JournalEvent::Reopt {
+            epoch,
+            pairs: demand.support_size(),
+            congestion,
+            lower_bound,
+            integral,
+        });
+        // Per-edge loads of the published assignment: rates sum to the
+        // admitted demands, so this is exactly the utilization the epoch
+        // ships.
+        let mut loads = vec![0.0f64; self.g.num_edges()];
+        for r in routes {
+            for (edges, rate) in &r.paths {
+                for e in edges {
+                    if let Some(slot) = loads.get_mut(e.0 as usize) {
+                        *slot += *rate;
+                    }
+                }
+            }
+        }
+        let mut top: Vec<EdgeLoad> = loads
+            .iter()
+            .enumerate()
+            .filter(|&(_, &load)| load > 0.0)
+            .map(|(i, &load)| {
+                let e = EdgeId::from_usize(i);
+                EdgeLoad {
+                    edge: e.0,
+                    load,
+                    utilization: load / self.g.cap(e),
+                }
+            })
+            .collect();
+        top.sort_by(|a, b| {
+            b.utilization
+                .total_cmp(&a.utilization)
+                .then(a.edge.cmp(&b.edge))
+        });
+        top.truncate(TOP_EDGES_K);
+        journal.record(JournalEvent::TopEdges { epoch, edges: top });
+        // Path churn: fingerprint each pair's published path set and diff
+        // it against the pair's previous publication.
+        for r in routes {
+            let mut fp = FNV_OFFSET;
+            for (edges, _) in &r.paths {
+                fp = fnv1a_u64(fp, edges.len() as u64);
+                for e in edges {
+                    fp = fnv1a_u64(fp, u64::from(e.0));
+                }
+            }
+            let pair = (r.s.0, r.t.0);
+            let churn = match self.pair_fps.insert(pair, fp) {
+                None => Some(true),
+                Some(prev) if prev != fp => Some(false),
+                Some(_) => None,
+            };
+            if let Some(new_pair) = churn {
+                journal.record(JournalEvent::PathChurn {
+                    epoch,
+                    src: pair.0,
+                    dst: pair.1,
+                    new_pair,
+                });
+            }
+        }
     }
 
     /// The resample-per-epoch baseline: rebuild the oblivious routing and
@@ -681,6 +975,107 @@ mod tests {
         }
         eng.restore_all();
         assert!(eng.failed_edges().is_empty());
+    }
+
+    #[test]
+    fn journal_captures_the_epoch_lifecycle() {
+        let mut eng = small_engine(false);
+        let journal = Arc::new(Journal::new());
+        eng.attach_journal(Arc::clone(&journal));
+        for _ in 0..2 {
+            for i in 0..4u32 {
+                eng.ingest(Request::unit(NodeId(i), NodeId(7 - i)));
+            }
+        }
+        eng.run_epoch();
+        let tags: Vec<&'static str> = journal.events().iter().map(|(_, e)| e.type_tag()).collect();
+        for expected in [
+            "epoch_begin",
+            "admit",
+            "cache_miss",
+            "reopt",
+            "top_edges",
+            "path_churn",
+            "epoch_end",
+        ] {
+            assert!(tags.contains(&expected), "missing {expected} in {tags:?}");
+        }
+        // 4 pairs, all published for the first time
+        assert_eq!(tags.iter().filter(|t| **t == "path_churn").count(), 4);
+        let before = journal.len();
+        // identical demand again: warm hit, identical publication → no churn
+        for i in 0..4u32 {
+            eng.ingest(Request::unit(NodeId(i), NodeId(7 - i)));
+        }
+        for i in 0..4u32 {
+            eng.ingest(Request::unit(NodeId(i), NodeId(7 - i)));
+        }
+        eng.run_epoch();
+        let tags2: Vec<&'static str> = journal
+            .events()
+            .iter()
+            .skip(before)
+            .map(|(_, e)| e.type_tag())
+            .collect();
+        assert!(tags2.contains(&"cache_hit"), "warm epoch hits: {tags2:?}");
+        assert!(!tags2.contains(&"cache_miss"));
+        assert!(
+            !tags2.contains(&"path_churn"),
+            "identical publication churns nothing: {tags2:?}"
+        );
+    }
+
+    #[test]
+    fn journal_records_failures_and_restores() {
+        let g = gen::cycle_graph(6);
+        let mut eng = Engine::new(
+            g,
+            EngineConfig {
+                sparsity: 4,
+                trees: 3,
+                epoch_batch: 4,
+                seed: 5,
+                ..EngineConfig::default()
+            },
+        );
+        let journal = Arc::new(Journal::new());
+        eng.attach_journal(Arc::clone(&journal));
+        eng.ingest(Request::unit(NodeId(0), NodeId(3)));
+        eng.run_epoch();
+        eng.fail_edges(&[EdgeId(0)]);
+        eng.ingest(Request::unit(NodeId(0), NodeId(3)));
+        eng.run_epoch();
+        eng.restore_all();
+        let events = journal.events();
+        let fail = events
+            .iter()
+            .find_map(|(_, e)| match e {
+                JournalEvent::EdgeFail { epoch, edges } => Some((*epoch, edges.clone())),
+                _ => None,
+            })
+            .expect("edge_fail recorded");
+        assert_eq!(fail, (1, vec![0]), "failure tagged with the next epoch");
+        assert!(
+            events
+                .iter()
+                .any(|(_, e)| matches!(e, JournalEvent::CacheInvalidate { epoch: 1, count: 1 })),
+            "invalidation journaled"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|(_, e)| matches!(e, JournalEvent::EdgeRestore { restored: 1, .. })),
+            "restore journaled"
+        );
+        // the degraded epoch's summary carries the live failure count
+        assert!(events.iter().any(|(_, e)| matches!(
+            e,
+            JournalEvent::EpochEnd {
+                epoch: 1,
+                failed_edges: 1,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -19,9 +19,16 @@
 //!   tail percentiles, the epoch timeline, SLO watchdogs, and the
 //!   Prometheus-style scrape endpoint (`sor serve --telemetry-addr`).
 //!
+//! On top of telemetry sits the flight recorder: an attached
+//! `sor_obs::Journal` receives a causal event for every lifecycle step
+//! (admissions, cache movement, failures, fallbacks, re-opt summaries,
+//! top-k edge loads, path churn), and an armed
+//! [`engine::BreachDumpConfig`] snapshots the ring to disk whenever an
+//! epoch trips an SLO rule — the artifact `sor forensics` ingests.
+//!
 //! Everything is bit-deterministic for a fixed seed, with or without
-//! `sor-obs` capture *and* with or without telemetry attached — the
-//! engine sits under the repo's perf gate.
+//! `sor-obs` capture, telemetry, *or* the journal attached — the engine
+//! sits under the repo's perf gate.
 
 #![forbid(unsafe_code)]
 
@@ -33,9 +40,9 @@ pub mod workload;
 pub use cache::{
     graph_fingerprint, pairs_fingerprint, CacheDeltas, CacheKey, CacheStats, PathSystemCache,
 };
-pub use engine::{Engine, EngineConfig, EpochSnapshot, PublishedRoute, Request};
+pub use engine::{BreachDumpConfig, Engine, EngineConfig, EpochSnapshot, PublishedRoute, Request};
 pub use telemetry::{EpochWalls, ServeTelemetry};
 pub use workload::{
-    matching_patterns, run_workload, run_workload_with_patterns, run_workload_with_telemetry,
-    scenario_patterns, WorkloadConfig, WorkloadReport,
+    matching_patterns, run_workload, run_workload_with_observers, run_workload_with_patterns,
+    run_workload_with_telemetry, scenario_patterns, ServeObservers, WorkloadConfig, WorkloadReport,
 };

@@ -17,8 +17,8 @@
 use crate::engine::EpochSnapshot;
 use parking_lot::Mutex;
 use sor_obs::{
-    EpochRecord, EpochTimeline, LogHistogram, PromGauges, SloConfig, SloInputs, SloWatchdog,
-    TelemetryHandler, TelemetryServer, WindowRegistry,
+    EpochRecord, EpochTimeline, LogHistogram, PromGauges, SloBreach, SloConfig, SloInputs,
+    SloWatchdog, TelemetryHandler, TelemetryServer, WindowRegistry,
 };
 use std::net::ToSocketAddrs;
 use std::sync::Arc;
@@ -85,14 +85,15 @@ impl ServeTelemetry {
     /// registry (the deterministic per-epoch tick), evaluate the SLO
     /// watchdog, and append the timeline record. Called by the engine;
     /// `rejected_total` is the engine's lifetime rejection counter (the
-    /// per-epoch delta is computed here).
+    /// per-epoch delta is computed here). Returns the epoch's SLO
+    /// breaches so the caller can react (e.g. dump the flight recorder).
     pub fn record_epoch(
         &self,
         snap: &EpochSnapshot,
         failed_edges: usize,
         rejected_total: u64,
         walls: EpochWalls,
-    ) {
+    ) -> Vec<SloBreach> {
         #[allow(clippy::cast_precision_loss)]
         // sor-check: allow(lossy-cast) — wall clocks are approximate by nature
         {
@@ -136,6 +137,7 @@ impl ServeTelemetry {
         let breaches = self.watchdog.evaluate(&rec, inputs);
         rec.slo_breaches = breaches.iter().map(|b| b.rule.to_string()).collect();
         self.timeline.push(rec);
+        breaches
     }
 
     /// Cache hit rate over the current epoch plus the last
@@ -227,6 +229,10 @@ impl TelemetryHandler for ServeTelemetry {
 
     fn timeline_json(&self) -> String {
         self.timeline.to_json()
+    }
+
+    fn timeline_json_last(&self, last: usize) -> String {
+        self.timeline.to_json_last(last)
     }
 
     fn health(&self) -> String {

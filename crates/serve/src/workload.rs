@@ -10,13 +10,14 @@
 //! recover path end to end.
 
 use crate::cache::CacheStats;
-use crate::engine::{Engine, EngineConfig, EpochSnapshot, Request};
+use crate::engine::{BreachDumpConfig, Engine, EngineConfig, EpochSnapshot, Request};
 use crate::telemetry::ServeTelemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sor_core::sample::demand_pairs;
 use sor_flow::demand::random_matching;
 use sor_graph::{connected_without, EdgeId, Graph, NodeId};
+use sor_obs::Journal;
 use sor_te::Scenario;
 use std::sync::Arc;
 
@@ -55,6 +56,30 @@ impl Default for WorkloadConfig {
     }
 }
 
+/// Observation planes a closed-loop run can attach to its engine. All of
+/// them are strictly read-only over the published snapshots — attaching
+/// any combination leaves the [`WorkloadReport`] bit-identical.
+#[derive(Clone, Default)]
+pub struct ServeObservers {
+    /// Live telemetry plane (windows, timeline, SLO watchdog).
+    pub telemetry: Option<Arc<ServeTelemetry>>,
+    /// Flight recorder (causal event journal).
+    pub journal: Option<Arc<Journal>>,
+    /// Breach-triggered journal dumps; only fires when a `journal` is
+    /// attached and the `telemetry` plane has SLO rules armed.
+    pub breach_dump: Option<BreachDumpConfig>,
+}
+
+impl ServeObservers {
+    /// Telemetry only — the pre-flight-recorder observation setup.
+    pub fn telemetry(t: Arc<ServeTelemetry>) -> Self {
+        ServeObservers {
+            telemetry: Some(t),
+            ..ServeObservers::default()
+        }
+    }
+}
+
 /// What a closed-loop run produced.
 #[derive(Clone, Debug)]
 pub struct WorkloadReport {
@@ -68,6 +93,9 @@ pub struct WorkloadReport {
     pub rejected: u64,
     /// `(epoch, edge)` failure events the schedule injected.
     pub failures: Vec<(u64, EdgeId)>,
+    /// Breach-dump artifacts the engine wrote, in breach order (empty
+    /// unless [`ServeObservers::breach_dump`] was armed).
+    pub breach_dumps: Vec<String>,
 }
 
 impl WorkloadReport {
@@ -163,9 +191,29 @@ pub fn run_workload_with_telemetry(
     wcfg: &WorkloadConfig,
     telemetry: Option<Arc<ServeTelemetry>>,
 ) -> WorkloadReport {
+    run_workload_with_observers(
+        g,
+        ecfg,
+        wcfg,
+        ServeObservers {
+            telemetry,
+            ..ServeObservers::default()
+        },
+    )
+}
+
+/// [`run_workload`] with any combination of observation planes attached
+/// (telemetry, flight recorder, breach-triggered dumps). The report stays
+/// bit-identical regardless of what is attached.
+pub fn run_workload_with_observers(
+    g: &Graph,
+    ecfg: EngineConfig,
+    wcfg: &WorkloadConfig,
+    observers: ServeObservers,
+) -> WorkloadReport {
     let mut rng = StdRng::seed_from_u64(wcfg.seed ^ 0x5e57_ab1e);
     let patterns = matching_patterns(g, wcfg.patterns, wcfg.pairs_per_pattern, &mut rng);
-    run_workload_inner(g, ecfg, wcfg, &patterns, telemetry)
+    run_workload_inner(g, ecfg, wcfg, &patterns, observers)
 }
 
 /// Run the closed loop over an explicit pattern pool: each epoch picks a
@@ -177,7 +225,7 @@ pub fn run_workload_with_patterns(
     wcfg: &WorkloadConfig,
     patterns: &[Vec<(NodeId, NodeId)>],
 ) -> WorkloadReport {
-    run_workload_inner(g, ecfg, wcfg, patterns, None)
+    run_workload_inner(g, ecfg, wcfg, patterns, ServeObservers::default())
 }
 
 fn run_workload_inner(
@@ -185,7 +233,7 @@ fn run_workload_inner(
     ecfg: EngineConfig,
     wcfg: &WorkloadConfig,
     patterns: &[Vec<(NodeId, NodeId)>],
-    telemetry: Option<Arc<ServeTelemetry>>,
+    observers: ServeObservers,
 ) -> WorkloadReport {
     assert!(!patterns.is_empty(), "workload needs at least one pattern");
     assert!(patterns.iter().all(|p| !p.is_empty()), "empty pattern");
@@ -194,8 +242,14 @@ fn run_workload_inner(
     // the caller reuses one seed for both.
     let mut rng = StdRng::seed_from_u64(wcfg.seed.wrapping_add(0xa11_1f0));
     let mut engine = Engine::new(g.clone(), ecfg);
-    if let Some(t) = telemetry {
+    if let Some(t) = observers.telemetry {
         engine.attach_telemetry(t);
+    }
+    if let Some(j) = observers.journal {
+        engine.attach_journal(j);
+    }
+    if let Some(d) = observers.breach_dump {
+        engine.set_breach_dump(d);
     }
     let mut snapshots = Vec::new();
     let mut failures = Vec::new();
@@ -231,6 +285,7 @@ fn run_workload_inner(
         admitted,
         rejected: engine.rejected_total(),
         failures,
+        breach_dumps: engine.breach_dump_paths().to_vec(),
     }
 }
 

@@ -13,10 +13,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sor_graph::gen;
-use sor_obs::SloConfig;
+use sor_obs::{Journal, JournalEvent, SloConfig};
 use sor_serve::{
-    run_workload, run_workload_with_telemetry, EngineConfig, EpochSnapshot, ServeTelemetry,
-    WorkloadConfig, WorkloadReport,
+    run_workload, run_workload_with_observers, EngineConfig, EpochSnapshot, ServeObservers,
+    ServeTelemetry, WorkloadConfig, WorkloadReport,
 };
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -32,6 +32,13 @@ fn run_once() -> WorkloadReport {
 }
 
 fn run_once_with(telemetry: Option<Arc<ServeTelemetry>>) -> WorkloadReport {
+    run_once_observed(ServeObservers {
+        telemetry,
+        ..ServeObservers::default()
+    })
+}
+
+fn run_once_observed(observers: ServeObservers) -> WorkloadReport {
     let g = gen::random_regular(20, 4, &mut StdRng::seed_from_u64(3));
     let ecfg = EngineConfig {
         sparsity: 3,
@@ -52,9 +59,13 @@ fn run_once_with(telemetry: Option<Arc<ServeTelemetry>>) -> WorkloadReport {
         restore_after: 2,
         seed: 7,
     };
-    match telemetry {
-        Some(t) => run_workload_with_telemetry(&g, ecfg, &wcfg, Some(t)),
-        None => run_workload(&g, ecfg, &wcfg),
+    if observers.telemetry.is_none()
+        && observers.journal.is_none()
+        && observers.breach_dump.is_none()
+    {
+        run_workload(&g, ecfg, &wcfg)
+    } else {
+        run_workload_with_observers(&g, ecfg, &wcfg, observers)
     }
 }
 
@@ -194,4 +205,55 @@ fn telemetry_plane_does_not_change_published_routes() {
     assert_eq!(telemetry.timeline().len(), plain.snapshots.len());
     let summary = telemetry.watchdog().summary();
     assert_eq!(summary.epochs_evaluated, plain.snapshots.len() as u64);
+}
+
+#[test]
+fn flight_recorder_does_not_change_published_routes() {
+    let _guard = serial();
+    sor_obs::set_enabled(false);
+    sor_obs::reset();
+    let plain = run_once();
+
+    let journal = Arc::new(Journal::new());
+    let recorded = run_once_observed(ServeObservers {
+        journal: Some(Arc::clone(&journal)),
+        ..ServeObservers::default()
+    });
+    assert_eq!(
+        bits(&plain),
+        bits(&recorded),
+        "attaching the flight recorder changed the serving output"
+    );
+
+    // and the recorder actually saw the whole run: one begin/end bracket
+    // per epoch plus the schedule's failure and restore
+    let events = journal.events();
+    let count = |tag: &str| events.iter().filter(|(_, e)| e.type_tag() == tag).count();
+    assert_eq!(count("epoch_begin"), plain.snapshots.len());
+    assert_eq!(count("epoch_end"), plain.snapshots.len());
+    assert_eq!(count("edge_fail"), plain.failures.len());
+    assert_eq!(count("edge_restore"), 1);
+    assert!(count("reopt") > 0 && count("top_edges") > 0);
+    // the journaled epoch summaries carry the published congestion bits
+    for snap in &plain.snapshots {
+        if snap.admitted == 0 {
+            continue;
+        }
+        assert!(
+            events.iter().any(|(_, e)| matches!(
+                e,
+                JournalEvent::EpochEnd {
+                    epoch,
+                    congestion,
+                    ..
+                } if *epoch == snap.epoch && congestion.to_bits() == snap.congestion.to_bits()
+            )),
+            "epoch {} summary missing or drifted",
+            snap.epoch
+        );
+    }
+    // round-trip: the dump parses and preserves every event
+    let dump = journal.dump_json(&[("source", "serve_determinism")]);
+    let parsed = sor_obs::parse_journal(&dump).expect("journal dump parses");
+    assert_eq!(parsed.events.len(), events.len());
 }

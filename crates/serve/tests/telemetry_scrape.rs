@@ -136,6 +136,40 @@ fn scrape_endpoint_serves_metrics_timeline_and_health() {
     assert!(status.contains("200"), "bad /health status: {status}");
     assert!(body.contains("health:"), "health summary body: {body}");
 
+    let (status, body) = get(addr, "/timeline?last=2");
+    assert!(status.contains("200"), "bad truncated status: {status}");
+    let parsed = sor_obs::parse_json(&body).expect("truncated timeline parses as JSON");
+    let epochs = parsed
+        .get("epochs")
+        .and_then(|v| v.as_arr())
+        .expect("epochs");
+    assert_eq!(epochs.len(), 2, "last=2 keeps exactly the 2 newest epochs");
+    let newest: Vec<u64> = epochs
+        .iter()
+        .filter_map(|e| e.get("epoch").and_then(|v| v.as_u64()))
+        .collect();
+    assert_eq!(
+        newest,
+        vec![4, 5],
+        "truncation keeps the tail, not the head"
+    );
+
+    // a `last` larger than the ring is the full timeline
+    let (status, body) = get(addr, "/timeline?last=100");
+    assert!(status.contains("200"), "bad over-sized status: {status}");
+    assert!(body.matches("\"epoch\":").count() >= 6);
+
+    // malformed queries are client errors, not missing routes
+    for bad in [
+        "/timeline?",
+        "/timeline?last=",
+        "/timeline?last=x",
+        "/metrics?x=1",
+    ] {
+        let (status, _) = get(addr, bad);
+        assert!(status.contains("400"), "{bad} must 400, got: {status}");
+    }
+
     let (status, _) = get(addr, "/nope");
     assert!(status.contains("404"), "unknown path must 404: {status}");
 

@@ -33,7 +33,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  sor info    --graph <spec> [--seed N]\n  sor eval    --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor sweep   --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]\n  sor sim     --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor serve   --graph <spec> [--epochs E] [--rate R] [--patterns P] [--pattern-pairs K]\n              [--s K] [--trees T] [--eps E] [--batch B] [--queue-bound Q] [--cache-cap C]\n              [--fail-at E] [--restore-after R] [--compare-fresh] [--integral] [--seed N]\n  sor export  --graph <spec> [--s K] [--trees T] [--demand spec] [--seed N]\n  sor process --graph <spec> [--s K] [--tau T] [--demand spec] [--seed N]\nobservability (any subcommand):\n  --trace             print the phase-tree timing report to stderr\n  --metrics-out FILE  write the metrics snapshot (counters/histograms/spans) as JSON\n  --quiet             silence diagnostic logging\nlive telemetry (serve only):\n  --telemetry-addr A  serve Prometheus exposition at A (e.g. 127.0.0.1:9100;\n                      port 0 binds an ephemeral port, printed to stderr)\n  --timeline-out FILE write the epoch timeline as JSON after the run\n  --dashboard         print the epoch timeline dashboard to stderr\n  --hold-ms MS        keep the scrape endpoint up MS ms after the run\n  --slo               arm the default SLO thresholds; or set individually:\n  --slo-max-ratio X --slo-max-p99-ms X --slo-min-hit-rate X --slo-max-fallback X"
+        "usage:\n  sor info    --graph <spec> [--seed N]\n  sor eval    --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor sweep   --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]\n  sor sim     --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor serve   --graph <spec> [--epochs E] [--rate R] [--patterns P] [--pattern-pairs K]\n              [--s K] [--trees T] [--eps E] [--batch B] [--queue-bound Q] [--cache-cap C]\n              [--fail-at E] [--restore-after R] [--compare-fresh] [--integral] [--seed N]\n  sor forensics --journal FILE [--top K] [--json FILE]\n  sor export  --graph <spec> [--s K] [--trees T] [--demand spec] [--seed N]\n  sor process --graph <spec> [--s K] [--tau T] [--demand spec] [--seed N]\nobservability (any subcommand):\n  --trace             print the phase-tree timing report to stderr\n  --metrics-out FILE  write the metrics snapshot (counters/histograms/spans) as JSON\n  --quiet             silence diagnostic logging\nlive telemetry (serve only):\n  --telemetry-addr A  serve Prometheus exposition at A (e.g. 127.0.0.1:9100;\n                      port 0 binds an ephemeral port, printed to stderr)\n  --timeline-out FILE write the epoch timeline as JSON after the run\n  --dashboard         print the epoch timeline dashboard to stderr\n  --hold-ms MS        keep the scrape endpoint up MS ms after the run\n  --slo               arm the default SLO thresholds; or set individually:\n  --slo-max-ratio X --slo-max-p99-ms X --slo-min-hit-rate X --slo-max-fallback X\nflight recorder (serve only):\n  --journal-out FILE  write the causal event journal (sor-journal/1) after the run\n  --journal-epochs N  epochs of journal context per dump (default 16; 0 = all)\n  --dump-on-breach P  write {{P}}-epochNNNNNN.json whenever an epoch trips an SLO rule\nforensics (offline, on a journal dump):\n  --journal FILE      the sor-journal/1 artifact to analyze (required)\n  --top K             per-edge load-shift rows to show (default 8)\n  --json FILE         also write the sor-forensics/1 report as JSON"
     );
     exit(2)
 }
@@ -87,6 +87,12 @@ fn run(args: &[String]) {
     let Some(cmd) = args.first().map(String::as_str) else {
         usage()
     };
+    if cmd == "forensics" {
+        // Offline analysis of a journal artifact: no graph, no seed —
+        // everything comes out of the dump.
+        run_forensics(args);
+        return;
+    }
     let seed: u64 = or_die(flag_parse(args, "--seed", 42));
     let Some(gspec) = flag_value(args, "--graph") else {
         usage()
@@ -264,6 +270,15 @@ fn run(args: &[String]) {
             let telemetry =
                 (telemetry_addr.is_some() || timeline_out.is_some() || dashboard || slo.is_armed())
                     .then(|| std::sync::Arc::new(serve::ServeTelemetry::new(slo)));
+            // Flight recorder: any journal flag attaches the ring. It
+            // never writes to stdout and never perturbs published output,
+            // so the per-epoch lines stay byte-identical with or without
+            // it (CI cmp-checks exactly that).
+            let journal_out = flag_value(args, "--journal-out");
+            let journal_epochs: u64 = or_die(flag_parse(args, "--journal-epochs", 16));
+            let dump_prefix = flag_value(args, "--dump-on-breach");
+            let journal = (journal_out.is_some() || dump_prefix.is_some())
+                .then(|| std::sync::Arc::new(semi_oblivious_routing::obs::Journal::new()));
             let server = telemetry.as_ref().zip(telemetry_addr).map(|(t, addr)| {
                 let server = or_die(
                     t.serve_http(addr)
@@ -278,8 +293,20 @@ fn run(args: &[String]) {
                 server
             });
             let started = std::time::Instant::now();
-            let report: serve::WorkloadReport =
-                serve::run_workload_with_telemetry(&g, ecfg, &wcfg, telemetry.clone());
+            let report: serve::WorkloadReport = serve::run_workload_with_observers(
+                &g,
+                ecfg,
+                &wcfg,
+                serve::ServeObservers {
+                    telemetry: telemetry.clone(),
+                    journal: journal.clone(),
+                    breach_dump: dump_prefix.map(|p| serve::BreachDumpConfig {
+                        prefix: p.to_string(),
+                        context_epochs: journal_epochs,
+                        max_dumps: 16,
+                    }),
+                },
+            );
             let elapsed = started.elapsed();
             for s in &report.snapshots {
                 let hit = if s.admitted == 0 {
@@ -343,6 +370,26 @@ fn run(args: &[String]) {
                     }
                 }
             }
+            if let (Some(j), Some(path)) = (&journal, journal_out) {
+                let seed_str = seed.to_string();
+                let doc = j.dump_json_last(
+                    journal_epochs,
+                    &[
+                        ("source", "sor-serve"),
+                        ("graph", gspec),
+                        ("seed", seed_str.as_str()),
+                    ],
+                );
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("error: cannot write journal to {path}: {e}");
+                    exit(1);
+                }
+            }
+            if !quiet {
+                for p in &report.breach_dumps {
+                    eprintln!("breach dump: {p}");
+                }
+            }
             let hold_ms: u64 = or_die(flag_parse(args, "--hold-ms", 0));
             if hold_ms > 0 && server.is_some() {
                 std::thread::sleep(std::time::Duration::from_millis(hold_ms));
@@ -383,5 +430,38 @@ fn run(args: &[String]) {
             }
         }
         _ => usage(),
+    }
+}
+
+/// `sor forensics`: ingest a `sor-journal/1` dump (breach-triggered or
+/// `--journal-out`), attribute epoch-over-epoch congestion/wall movement
+/// to causes, and render the text report (optionally the JSON one too).
+fn run_forensics(args: &[String]) {
+    let Some(path) = flag_value(args, "--journal") else {
+        usage()
+    };
+    let top: usize = or_die(flag_parse(args, "--top", 8));
+    let text = or_die(
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read journal {path}: {e}")),
+    );
+    let dump = or_die(semi_oblivious_routing::obs::parse_journal(&text));
+    println!(
+        "forensics on {path}: {} events (journal recorded {}, dropped {})",
+        dump.events.len(),
+        dump.recorded,
+        dump.dropped
+    );
+    for (k, v) in &dump.meta {
+        println!("  {k}: {v}");
+    }
+    let events: Vec<semi_oblivious_routing::obs::JournalEvent> =
+        dump.events.into_iter().map(|(_, e)| e).collect();
+    let report = semi_oblivious_routing::obs::analyze(&events, top);
+    print!("{}", report.render_text());
+    if let Some(out) = flag_value(args, "--json") {
+        if let Err(e) = std::fs::write(out, report.to_json()) {
+            eprintln!("error: cannot write forensics report to {out}: {e}");
+            exit(1);
+        }
     }
 }
