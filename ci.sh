@@ -102,6 +102,30 @@ test -s target/serve/serve-timeline.json
 grep -q '"epochs"' target/serve/serve-timeline.json
 grep -q '"sor-timeline/1"' target/serve/serve-timeline.json
 
+echo "==> compact snapshot smoke (byte-identical stdout across formats, trade-off table)"
+mkdir -p target/compact
+# The compact codec is verified lossless, so a seeded serve run must
+# publish byte-identical stdout whether snapshots carry explicit paths
+# or compact next-hop tables.
+cargo run -q --release --bin sor -- serve --graph expander:16x4 \
+  --epochs 5 --rate 8 --patterns 2 --fail-at 2 --restore-after 2 \
+  --seed 7 --quiet > target/compact/explicit.out
+cargo run -q --release --bin sor -- serve --graph expander:16x4 \
+  --epochs 5 --rate 8 --patterns 2 --fail-at 2 --restore-after 2 \
+  --seed 7 --quiet --snapshot-format compact > target/compact/compact.out
+cmp target/compact/explicit.out target/compact/compact.out
+# Inert flag combinations are usage errors, not silent no-ops.
+if cargo run -q --release --bin sor -- serve --graph expander:16x4 \
+  --epochs 2 --quiet --journal-epochs 4 > /dev/null 2>&1; then
+  echo "expected --journal-epochs without --journal-out to be rejected"
+  exit 1
+fi
+# The trade-off table reports both encodings' footprints per sparsity.
+cargo run -q --release --bin sor -- compact --graph abilene --max-s 3 \
+  --quiet > target/compact/tradeoff.txt
+grep -q "compact b/n" target/compact/tradeoff.txt
+grep -q "explicit b/n" target/compact/tradeoff.txt
+
 echo "==> flight recorder smoke (byte-neutral stdout, breach dumps, forensics attribution)"
 mkdir -p target/journal
 # Attaching the journal must not change published output: the same seeded

@@ -151,6 +151,7 @@ const BENCHES: &[(&str, BenchFn)] = &[
     ("kernel/serve_failover", kernels::serve_failover),
     ("kernel/telemetry_overhead", kernels::telemetry_overhead),
     ("kernel/journal_overhead", kernels::journal_overhead),
+    ("kernel/compact_tables", kernels::compact_tables),
 ];
 
 /// Names of every bench in the suite, in order.

@@ -1,0 +1,148 @@
+//! Per-node next-hop tables: destination-label intervals → out-edges.
+//!
+//! A table holds sorted, disjoint label intervals; a lookup binary
+//! searches for the interval containing the destination label and
+//! returns the *local* out-edge index (a position into
+//! `Graph::incident(u)`, which needs only `⌈log₂ Δ⌉` bits rather than a
+//! global edge id). Runs of labels that forward the same way — typical
+//! when the labels come from a DFS over the routing hierarchy — cost
+//! one entry regardless of how many destinations they cover.
+//!
+//! Interval construction merges *any* two label entries with the same
+//! out-edge, even across gaps. Labels inside a gap were never installed
+//! by the encoder, so either they are never looked up (the pair is not
+//! in the system) or the codec's verify pass notices the decoded route
+//! diverging and demotes that pair to an explicit exception. The merge
+//! is therefore free compression, not a correctness gamble.
+
+use std::collections::BTreeMap;
+
+/// One table row: destination labels in `lo..=hi` leave via the
+/// `out`-th incident edge of the owning vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntervalEntry {
+    /// Smallest destination label covered (inclusive).
+    pub lo: u32,
+    /// Largest destination label covered (inclusive).
+    pub hi: u32,
+    /// Local out-edge index into the owning vertex's incident list.
+    pub out: u32,
+}
+
+/// A bit-packed next-hop table for one (path-slot, vertex) pair.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NextHopTable {
+    entries: Vec<IntervalEntry>,
+}
+
+impl NextHopTable {
+    /// Compress a full label → out-edge map into interval form. Adjacent
+    /// map entries (in label order) sharing the same out-edge collapse
+    /// into one interval; see the module docs for why gap-spanning
+    /// merges are sound.
+    pub fn from_map(map: &BTreeMap<u32, u32>) -> Self {
+        let mut entries: Vec<IntervalEntry> = Vec::new();
+        for (&label, &out) in map {
+            match entries.last_mut() {
+                Some(last) if last.out == out => last.hi = label,
+                _ => entries.push(IntervalEntry {
+                    lo: label,
+                    hi: label,
+                    out,
+                }),
+            }
+        }
+        NextHopTable { entries }
+    }
+
+    /// The out-edge index for `label`, if some interval covers it.
+    pub fn lookup(&self, label: u32) -> Option<u32> {
+        let i = self.entries.partition_point(|e| e.hi < label);
+        self.entries
+            .get(i)
+            .filter(|e| e.lo <= label && label <= e.hi)
+            .map(|e| e.out)
+    }
+
+    /// Number of interval rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The interval rows, sorted by label.
+    pub fn entries(&self) -> &[IntervalEntry] {
+        &self.entries
+    }
+
+    /// Exact serialized size: a 16-bit row count plus, per row, two
+    /// labels and one local out-edge index.
+    pub fn bits(&self, label_bits: u32, edge_bits: u32) -> u64 {
+        16 + self.entries.len() as u64 * u64::from(2 * label_bits + edge_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_of(pairs: &[(u32, u32)]) -> BTreeMap<u32, u32> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn merges_runs_and_gaps_with_same_out() {
+        let t = NextHopTable::from_map(&map_of(&[(0, 7), (1, 7), (2, 7), (9, 7)]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.entries()[0],
+            IntervalEntry {
+                lo: 0,
+                hi: 9,
+                out: 7
+            }
+        );
+        // gap labels resolve to the merged out — verify pass territory
+        assert_eq!(t.lookup(5), Some(7));
+    }
+
+    #[test]
+    fn splits_on_out_change() {
+        let t = NextHopTable::from_map(&map_of(&[(0, 1), (1, 1), (2, 3), (3, 1)]));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lookup(0), Some(1));
+        assert_eq!(t.lookup(1), Some(1));
+        assert_eq!(t.lookup(2), Some(3));
+        assert_eq!(t.lookup(3), Some(1));
+        assert_eq!(t.lookup(4), None);
+    }
+
+    #[test]
+    fn lookup_outside_any_interval_misses() {
+        let t = NextHopTable::from_map(&map_of(&[(4, 0), (5, 0), (9, 2)]));
+        assert_eq!(t.lookup(3), None);
+        assert_eq!(t.lookup(4), Some(0));
+        assert_eq!(t.lookup(7), None);
+        assert_eq!(t.lookup(9), Some(2));
+        assert_eq!(t.lookup(10), None);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = NextHopTable::from_map(&BTreeMap::new());
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(0), None);
+        assert_eq!(t.bits(4, 2), 16);
+    }
+
+    #[test]
+    fn bit_accounting() {
+        let t = NextHopTable::from_map(&map_of(&[(0, 1), (2, 3)]));
+        // 16-bit header + 2 rows × (2·4 + 2) bits
+        assert_eq!(t.bits(4, 2), 16 + 2 * 10);
+    }
+}

@@ -11,7 +11,11 @@ use std::collections::BTreeMap;
 /// system is a set of paths, so duplicates only lower the effective
 /// sparsity. Iteration order is deterministic (pairs sorted by id, paths in
 /// insertion order), which keeps all seeded experiments reproducible.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares the exact stored structure — same pairs, same
+/// paths, same order — which is the round-trip contract the compact
+/// snapshot codec (`sor-compact`) certifies against.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct PathSystem {
     paths: BTreeMap<(u32, u32), Vec<Path>>,
 }

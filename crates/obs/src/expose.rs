@@ -160,7 +160,10 @@ pub trait TelemetryHandler: Send + Sync {
         let _ = last;
         self.timeline_json()
     }
-    /// Body for `GET /health` (SLO health summary, text).
+    /// Body for `GET /health` (SLO health summary, JSON — served with
+    /// `Content-Type: application/json`; see
+    /// [`crate::slo::HealthSummary::render_json`] for the canonical
+    /// `sor-health/1` shape).
     fn health(&self) -> String;
 }
 
@@ -293,7 +296,7 @@ fn serve_one(mut stream: TcpStream, handler: &dyn TelemetryHandler) {
                 None => bad_request(),
             },
         },
-        "/health" if query.is_none() => ("200 OK", "text/plain; charset=utf-8", handler.health()),
+        "/health" if query.is_none() => ("200 OK", "application/json", handler.health()),
         "/metrics" | "/" | "/health" => bad_request(),
         _ => (
             "404 Not Found",
@@ -443,7 +446,7 @@ mod tests {
             format!("{{\"format\":\"sor-timeline/1\",\"last\":{last},\"epochs\":[]}}")
         }
         fn health(&self) -> String {
-            "health: ok (0 epochs, 0 breaches)\n".to_string()
+            crate::slo::HealthSummary::default().render_json()
         }
     }
 
@@ -468,10 +471,15 @@ mod tests {
         assert!(metrics.contains("Content-Length:"));
         assert!(metrics.ends_with("sor_test_metric 1\n"));
         let timeline = get(addr, "/timeline");
-        assert!(timeline.contains("application/json"));
+        assert!(timeline.contains("Content-Type: application/json\r\n"));
         assert!(timeline.contains("sor-timeline/1"));
         let health = get(addr, "/health");
         assert!(health.contains("health: ok"));
+        assert!(
+            health.contains("Content-Type: application/json\r\n"),
+            "/health must declare a JSON content type: {health}"
+        );
+        assert!(health.contains("\"sor-health/1\""));
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.0 404"));
         // query handling: /timeline?last=N truncates, malformed is 400

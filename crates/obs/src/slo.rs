@@ -132,6 +132,36 @@ impl HealthSummary {
         }
         out
     }
+
+    /// JSON rendering for the `/health` endpoint (`sor-health/1`): the
+    /// counters plus per-rule breach counts, with the text headline
+    /// embedded as `summary` (rule names and the headline contain no
+    /// characters needing JSON escaping).
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\"format\":\"sor-health/1\",\"healthy\":{},\"epochs_evaluated\":{},\
+             \"total_breaches\":{},\"summary\":\"health: {} ({} epochs, {} breaches)\",\
+             \"breaches_by_rule\":{{",
+            self.healthy(),
+            self.epochs_evaluated,
+            self.total_breaches,
+            if self.healthy() { "ok" } else { "degraded" },
+            self.epochs_evaluated,
+            self.total_breaches
+        );
+        for (i, (rule, count)) in SLO_RULES
+            .iter()
+            .zip(self.breaches_by_rule.iter())
+            .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{rule}\":{count}"));
+        }
+        out.push_str("}}\n");
+        out
+    }
 }
 
 /// Evaluates an [`SloConfig`] against each published epoch and keeps the

@@ -20,6 +20,7 @@
 //! and N−1 hits, which keeps the hit/miss counters exact — a property
 //! the concurrency tests pin down.
 
+use crate::engine::SnapshotFormat;
 use sor_core::PathSystem;
 use sor_graph::{EdgeId, Graph, NodeId};
 use std::collections::BTreeMap;
@@ -106,6 +107,9 @@ impl CacheKey {
 
 struct Entry {
     system: Arc<PathSystem>,
+    /// Snapshot format the entry was inserted under — diagnostic truth
+    /// for "what encoding is this epoch actually serving from".
+    encoding: SnapshotFormat,
     last_used: u64,
 }
 
@@ -206,9 +210,12 @@ impl PathSystemCache {
     /// key cost exactly one build; if the insert pushes the shard over
     /// capacity, the least-recently-used entry is evicted (outstanding
     /// `Arc`s to it stay valid).
+    /// `encoding` tags the entry with the snapshot format it serves
+    /// (recorded on insert, readable via [`PathSystemCache::encoding`]).
     pub fn get_or_insert_with(
         &self,
         key: CacheKey,
+        encoding: SnapshotFormat,
         build: impl FnOnce() -> PathSystem,
     ) -> (Arc<PathSystem>, bool) {
         // sor-check: allow(panic-path) — shard_of is modulo len, always in bounds
@@ -229,6 +236,7 @@ impl PathSystemCache {
             key,
             Entry {
                 system: Arc::clone(&system),
+                encoding,
                 last_used: now,
             },
         );
@@ -254,6 +262,14 @@ impl PathSystemCache {
         // sor-check: allow(panic-path) — shard_of is modulo len, always in bounds
         let shard = &self.shards[key.shard_of(self.shards.len())];
         shard.lock().get(key).map(|e| Arc::clone(&e.system))
+    }
+
+    /// The snapshot format a resident entry was inserted under (peek
+    /// semantics: no LRU or counter movement; `None` if absent).
+    pub fn encoding(&self, key: &CacheKey) -> Option<SnapshotFormat> {
+        // sor-check: allow(panic-path) — shard_of is modulo len, always in bounds
+        let shard = &self.shards[key.shard_of(self.shards.len())];
+        shard.lock().get(key).map(|e| e.encoding)
     }
 
     /// Drop every entry whose system routes over any of `failed` —
@@ -325,9 +341,11 @@ mod tests {
         let g = gen::cycle_graph(6);
         let cache = PathSystemCache::new(4);
         let key = CacheKey::new(&g, &[(NodeId(0), NodeId(3))], 2);
-        let (a, hit) = cache.get_or_insert_with(key, || system_for(&g, 0, 3));
+        let (a, hit) =
+            cache.get_or_insert_with(key, SnapshotFormat::Explicit, || system_for(&g, 0, 3));
         assert!(!hit);
-        let (b, hit) = cache.get_or_insert_with(key, || panic!("must not rebuild"));
+        let (b, hit) =
+            cache.get_or_insert_with(key, SnapshotFormat::Explicit, || panic!("must not rebuild"));
         assert!(hit);
         assert!(Arc::ptr_eq(&a, &b));
         let st = cache.stats();
@@ -340,11 +358,12 @@ mod tests {
         // one shard, capacity 2 → fully scripted eviction order
         let cache = PathSystemCache::with_shards(2, 1);
         let k = |t: u32| CacheKey::new(&g, &[(NodeId(0), NodeId(t))], 1);
-        let (first, _) = cache.get_or_insert_with(k(2), || system_for(&g, 0, 2));
-        cache.get_or_insert_with(k(3), || system_for(&g, 0, 3));
+        let (first, _) =
+            cache.get_or_insert_with(k(2), SnapshotFormat::Explicit, || system_for(&g, 0, 2));
+        cache.get_or_insert_with(k(3), SnapshotFormat::Explicit, || system_for(&g, 0, 3));
         // touch k(2) so k(3) is the LRU victim
-        cache.get_or_insert_with(k(2), || panic!("hit expected"));
-        cache.get_or_insert_with(k(4), || system_for(&g, 0, 4));
+        cache.get_or_insert_with(k(2), SnapshotFormat::Explicit, || panic!("hit expected"));
+        cache.get_or_insert_with(k(4), SnapshotFormat::Explicit, || system_for(&g, 0, 4));
         assert_eq!(cache.len(), 2);
         assert!(cache.peek(&k(3)).is_none(), "LRU entry evicted");
         assert!(cache.peek(&k(2)).is_some());
@@ -359,8 +378,8 @@ mod tests {
         let cache = PathSystemCache::new(8);
         let k1 = CacheKey::new(&g, &[(NodeId(0), NodeId(1))], 1);
         let k2 = CacheKey::new(&g, &[(NodeId(3), NodeId(4))], 1);
-        cache.get_or_insert_with(k1, || system_for(&g, 0, 1));
-        cache.get_or_insert_with(k2, || system_for(&g, 3, 4));
+        cache.get_or_insert_with(k1, SnapshotFormat::Explicit, || system_for(&g, 0, 1));
+        cache.get_or_insert_with(k2, SnapshotFormat::Explicit, || system_for(&g, 3, 4));
         // edge 0 is {0,1}: only k1's single-hop path crosses it
         let removed = cache.invalidate_edges(&[EdgeId(0)]);
         assert_eq!(removed, 1);
@@ -376,8 +395,8 @@ mod tests {
         let cache = PathSystemCache::new(4);
         let before = cache.stats();
         let key = CacheKey::new(&g, &[(NodeId(0), NodeId(3))], 2);
-        cache.get_or_insert_with(key, || system_for(&g, 0, 3));
-        cache.get_or_insert_with(key, || panic!("hit expected"));
+        cache.get_or_insert_with(key, SnapshotFormat::Explicit, || system_for(&g, 0, 3));
+        cache.get_or_insert_with(key, SnapshotFormat::Explicit, || panic!("hit expected"));
         let mid = cache.stats();
         let d = mid.delta_since(&before);
         assert_eq!(
@@ -387,6 +406,23 @@ mod tests {
         // no movement ⇒ all-zero deltas; reversed order saturates to zero
         assert_eq!(mid.delta_since(&mid), CacheDeltas::default());
         assert_eq!(before.delta_since(&mid), CacheDeltas::default());
+    }
+
+    #[test]
+    fn entries_record_their_encoding() {
+        let g = gen::cycle_graph(6);
+        let cache = PathSystemCache::new(4);
+        let k1 = CacheKey::new(&g, &[(NodeId(0), NodeId(2))], 1);
+        let k2 = CacheKey::new(&g, &[(NodeId(1), NodeId(4))], 1);
+        cache.get_or_insert_with(k1, SnapshotFormat::Explicit, || system_for(&g, 0, 2));
+        cache.get_or_insert_with(k2, SnapshotFormat::Compact, || system_for(&g, 1, 4));
+        assert_eq!(cache.encoding(&k1), Some(SnapshotFormat::Explicit));
+        assert_eq!(cache.encoding(&k2), Some(SnapshotFormat::Compact));
+        let missing = CacheKey::new(&g, &[(NodeId(2), NodeId(5))], 1);
+        assert_eq!(cache.encoding(&missing), None);
+        // peek semantics: reading the tag moved no counters
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses), (0, 2));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::telemetry::{EpochWalls, ServeTelemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use sor_compact::{CompactStats, CompactSystem};
 use sor_core::sample::{demand_pairs, sample_k};
 use sor_core::{PathSystem, SemiObliviousRouting};
 use sor_flow::Demand;
@@ -59,6 +60,33 @@ impl Request {
     }
 }
 
+/// How an epoch's path system is materialized for publication. Both
+/// formats publish bit-identical routes — compact mode re-encodes the
+/// system through `sor-compact`'s verified lossless tables and decodes
+/// the published edge lists from them, recording the size accounting on
+/// the snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    /// Explicit per-pair edge lists (the historical format).
+    #[default]
+    Explicit,
+    /// o(n)-state label-interval next-hop tables ([`CompactSystem`]).
+    Compact,
+}
+
+impl SnapshotFormat {
+    /// Parse a CLI spelling (`explicit` / `compact`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "explicit" => Ok(SnapshotFormat::Explicit),
+            "compact" => Ok(SnapshotFormat::Compact),
+            other => Err(format!(
+                "unknown snapshot format {other:?} (expected explicit|compact)"
+            )),
+        }
+    }
+}
+
 /// Engine tuning knobs. Every field participates in the determinism
 /// contract: same config + same ingest sequence ⇒ bit-identical
 /// snapshots.
@@ -85,6 +113,11 @@ pub struct EngineConfig {
     pub compare_fresh: bool,
     /// Seed for the engine RNG and all derived per-epoch RNGs.
     pub seed: u64,
+    /// How published snapshots materialize their path systems (explicit
+    /// edge lists or compact next-hop tables). Published routes are
+    /// bit-identical either way; only the snapshot's size accounting and
+    /// the cache's encoding tag differ.
+    pub snapshot_format: SnapshotFormat,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +132,7 @@ impl Default for EngineConfig {
             integral: false,
             compare_fresh: false,
             seed: 0,
+            snapshot_format: SnapshotFormat::Explicit,
         }
     }
 }
@@ -152,6 +186,10 @@ pub struct EpochSnapshot {
     pub cache: CacheDeltas,
     /// The rate assignment, one entry per served pair.
     pub routes: Vec<PublishedRoute>,
+    /// Size accounting of the compact encoding, present only when the
+    /// engine ran with [`SnapshotFormat::Compact`]. Routes themselves
+    /// are identical between formats (the codec is verified lossless).
+    pub compact: Option<CompactStats>,
 }
 
 impl EpochSnapshot {
@@ -169,6 +207,7 @@ impl EpochSnapshot {
             fresh_congestion: None,
             cache: CacheDeltas::default(),
             routes: Vec::new(),
+            compact: None,
         }
     }
 }
@@ -524,7 +563,7 @@ impl Engine {
             cfg,
             ..
         } = self;
-        let (sampled, cache_hit) = cache.get_or_insert_with(key, || {
+        let (sampled, cache_hit) = cache.get_or_insert_with(key, cfg.snapshot_format, || {
             let _span = sor_obs::span("serve/sample");
             sample_k(routing, &pairs, cfg.sparsity, rng).system
         });
@@ -604,26 +643,60 @@ impl Engine {
             self.timings.reopt_ns = elapsed_ns(t0);
         }
 
+        // Compact mode: re-encode the epoch's (failure-resolved) system
+        // through the verified lossless codec and publish the *decoded*
+        // routes — identical bits by the codec's round-trip guarantee,
+        // with the size accounting recorded on the snapshot.
+        let compact = (self.cfg.snapshot_format == SnapshotFormat::Compact).then(|| {
+            let _span = sor_obs::span("serve/compact_encode");
+            let tree = self
+                .routing
+                .trees()
+                .first()
+                // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
+                .expect("RaeckeRouting::build produces at least one tree");
+            CompactSystem::encode(&self.g, tree, sor.system())
+        });
+
         // Publish: per-commodity route extraction (rayon; the vendored
         // stand-in runs it sequentially, deterministically).
-        let routes: Vec<PublishedRoute> = demand
-            .entries()
-            .par_iter()
-            .zip(weights.par_iter())
-            .map(|(&(s, t, d), w)| PublishedRoute {
-                s,
-                t,
-                demand: d,
-                paths: sor
-                    .system()
-                    .paths(s, t)
-                    .par_iter()
-                    .zip(w.par_iter())
-                    .filter(|&(_, &rate)| rate > 0.0)
-                    .map(|(p, &rate)| (p.edges().to_vec(), rate))
-                    .collect(),
-            })
-            .collect();
+        let routes: Vec<PublishedRoute> = match &compact {
+            Some(cs) => demand
+                .entries()
+                .iter()
+                .zip(weights.iter())
+                .map(|(&(s, t, d), w)| PublishedRoute {
+                    s,
+                    t,
+                    demand: d,
+                    paths: cs
+                        .decode_pair(&self.g, s, t)
+                        .iter()
+                        .zip(w.iter())
+                        .filter(|&(_, &rate)| rate > 0.0)
+                        .map(|(p, &rate)| (p.edges().to_vec(), rate))
+                        .collect(),
+                })
+                .collect(),
+            None => demand
+                .entries()
+                .par_iter()
+                .zip(weights.par_iter())
+                .map(|(&(s, t, d), w)| PublishedRoute {
+                    s,
+                    t,
+                    demand: d,
+                    paths: sor
+                        .system()
+                        .paths(s, t)
+                        .par_iter()
+                        .zip(w.par_iter())
+                        .filter(|&(_, &rate)| rate > 0.0)
+                        .map(|(p, &rate)| (p.edges().to_vec(), rate))
+                        .collect(),
+                })
+                .collect(),
+        };
 
         if self.journal.is_some() {
             self.journal_solve_events(
@@ -649,6 +722,7 @@ impl Engine {
             fresh_congestion: None,
             cache: CacheDeltas::default(),
             routes,
+            compact: compact.as_ref().map(CompactSystem::stats),
         };
         self.last = Some(sor);
         snap

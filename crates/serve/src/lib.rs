@@ -13,6 +13,11 @@
 //!   sparsity), with selective failure invalidation.
 //! * [`engine`] — the epoch lifecycle: ingest → admit (backpressure) →
 //!   solve (cached system, failures degrade + fall back) → publish.
+//!   Snapshots publish in one of two formats behind
+//!   [`engine::SnapshotFormat`]: explicit per-pair edge lists, or
+//!   `sor-compact`'s o(n)-state next-hop tables — the published routes
+//!   are bit-identical either way (the codec is verified lossless), and
+//!   compact snapshots carry their size accounting.
 //! * [`workload`] — deterministic closed-loop arrival processes and
 //!   failure schedules for the CLI, benches, and tests.
 //! * [`telemetry`] — the live plane: per-epoch window rates, streaming
@@ -40,7 +45,9 @@ pub mod workload;
 pub use cache::{
     graph_fingerprint, pairs_fingerprint, CacheDeltas, CacheKey, CacheStats, PathSystemCache,
 };
-pub use engine::{BreachDumpConfig, Engine, EngineConfig, EpochSnapshot, PublishedRoute, Request};
+pub use engine::{
+    BreachDumpConfig, Engine, EngineConfig, EpochSnapshot, PublishedRoute, Request, SnapshotFormat,
+};
 pub use telemetry::{EpochWalls, ServeTelemetry};
 pub use workload::{
     matching_patterns, run_workload, run_workload_with_observers, run_workload_with_patterns,

@@ -236,7 +236,7 @@ impl TelemetryHandler for ServeTelemetry {
     }
 
     fn health(&self) -> String {
-        self.watchdog.summary().render()
+        self.watchdog.summary().render_json()
     }
 }
 
@@ -259,6 +259,7 @@ mod tests {
             fresh_congestion: Some(1.0),
             cache: CacheDeltas::default(),
             routes: Vec::new(),
+            compact: None,
         };
         if hit {
             s.cache.hits = 1;

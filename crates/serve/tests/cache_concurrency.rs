@@ -14,7 +14,7 @@
 
 use sor_core::PathSystem;
 use sor_graph::{bfs_path, gen, EdgeId, NodeId};
-use sor_serve::{CacheKey, PathSystemCache};
+use sor_serve::{CacheKey, PathSystemCache, SnapshotFormat};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -49,10 +49,11 @@ fn hammering_one_key_builds_once_and_counts_exactly() {
         for _ in 0..THREADS {
             s.spawn(|| {
                 for _ in 0..ITERS {
-                    let (sys, _) = cache.get_or_insert_with(key(1), || {
-                        builds.fetch_add(1, Ordering::Relaxed);
-                        tiny_system(1)
-                    });
+                    let (sys, _) =
+                        cache.get_or_insert_with(key(1), SnapshotFormat::Explicit, || {
+                            builds.fetch_add(1, Ordering::Relaxed);
+                            tiny_system(1)
+                        });
                     assert_eq!(sys.num_pairs(), 1);
                 }
             });
@@ -78,9 +79,15 @@ fn disjoint_keys_from_many_threads_sum_exactly() {
                 let base = (t * ITERS) as u64;
                 for i in 0..ITERS as u64 {
                     // miss, then hit, the same key
-                    let (_, hit) = cache.get_or_insert_with(key(base + i), || tiny_system(i));
+                    let (_, hit) =
+                        cache.get_or_insert_with(key(base + i), SnapshotFormat::Explicit, || {
+                            tiny_system(i)
+                        });
                     assert!(!hit);
-                    let (_, hit) = cache.get_or_insert_with(key(base + i), || tiny_system(i));
+                    let (_, hit) =
+                        cache.get_or_insert_with(key(base + i), SnapshotFormat::Explicit, || {
+                            tiny_system(i)
+                        });
                     assert!(hit);
                 }
             });
@@ -111,7 +118,10 @@ fn eviction_never_drops_an_in_flight_arc() {
                 let mut held: Vec<Arc<PathSystem>> = Vec::new();
                 for i in 0..ITERS as u64 {
                     let tag = (t as u64) << 32 | i;
-                    let (sys, _) = cache.get_or_insert_with(key(tag), || tiny_system(i));
+                    let (sys, _) =
+                        cache.get_or_insert_with(key(tag), SnapshotFormat::Explicit, || {
+                            tiny_system(i)
+                        });
                     held.push(sys);
                     // Everything held so far is still a valid system.
                     for h in &held {
@@ -147,7 +157,7 @@ fn concurrent_invalidation_and_lookup_stay_coherent() {
             s.spawn(move || {
                 for i in 0..ITERS as u64 {
                     let tag = ((t as u64) << 32) | i;
-                    cache.get_or_insert_with(key(tag), || {
+                    cache.get_or_insert_with(key(tag), SnapshotFormat::Explicit, || {
                         let mut sys = PathSystem::new();
                         // the direct edge (0,1) is edge 0 in the cycle
                         sys.insert(

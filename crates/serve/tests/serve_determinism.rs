@@ -16,7 +16,7 @@ use sor_graph::gen;
 use sor_obs::{Journal, JournalEvent, SloConfig};
 use sor_serve::{
     run_workload, run_workload_with_observers, EngineConfig, EpochSnapshot, ServeObservers,
-    ServeTelemetry, WorkloadConfig, WorkloadReport,
+    ServeTelemetry, SnapshotFormat, WorkloadConfig, WorkloadReport,
 };
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -39,6 +39,10 @@ fn run_once_with(telemetry: Option<Arc<ServeTelemetry>>) -> WorkloadReport {
 }
 
 fn run_once_observed(observers: ServeObservers) -> WorkloadReport {
+    run_once_formatted(SnapshotFormat::Explicit, observers)
+}
+
+fn run_once_formatted(format: SnapshotFormat, observers: ServeObservers) -> WorkloadReport {
     let g = gen::random_regular(20, 4, &mut StdRng::seed_from_u64(3));
     let ecfg = EngineConfig {
         sparsity: 3,
@@ -48,6 +52,7 @@ fn run_once_observed(observers: ServeObservers) -> WorkloadReport {
         cache_capacity: 8,
         compare_fresh: true,
         seed: 7,
+        snapshot_format: format,
         ..EngineConfig::default()
     };
     let wcfg = WorkloadConfig {
@@ -205,6 +210,54 @@ fn telemetry_plane_does_not_change_published_routes() {
     assert_eq!(telemetry.timeline().len(), plain.snapshots.len());
     let summary = telemetry.watchdog().summary();
     assert_eq!(summary.epochs_evaluated, plain.snapshots.len() as u64);
+}
+
+#[test]
+fn compact_snapshots_publish_identical_routes() {
+    let _guard = serial();
+    sor_obs::set_enabled(false);
+    sor_obs::reset();
+    let explicit = run_once();
+    let compact = run_once_formatted(SnapshotFormat::Compact, ServeObservers::default());
+
+    // the codec is verified lossless, so the *published* plane — vertex
+    // sequences, rates, congestion — must be bit-identical across formats;
+    // only the size-accounting sidecar may differ
+    let mut explicit_bits = bits(&explicit);
+    let mut compact_bits = bits(&compact);
+    for snap in explicit_bits
+        .epochs
+        .iter_mut()
+        .chain(compact_bits.epochs.iter_mut())
+    {
+        snap.compact = None;
+    }
+    assert_eq!(
+        explicit_bits, compact_bits,
+        "compact snapshot format changed the published routes"
+    );
+
+    // and every solving epoch's snapshot carries its table accounting,
+    // with compact strictly smaller than the explicit encoding it replaces
+    for snap in &compact.snapshots {
+        if snap.admitted == 0 {
+            continue;
+        }
+        let stats = snap
+            .compact
+            .expect("compact-format snapshot carries size accounting");
+        assert!(stats.pairs > 0);
+        assert!(
+            stats.compact_bits < stats.explicit_bits,
+            "epoch {}: compact {} bits >= explicit {} bits",
+            snap.epoch,
+            stats.compact_bits,
+            stats.explicit_bits
+        );
+    }
+    for snap in &explicit.snapshots {
+        assert!(snap.compact.is_none(), "explicit snapshots carry no stats");
+    }
 }
 
 #[test]

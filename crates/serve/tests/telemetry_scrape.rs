@@ -52,8 +52,10 @@ fn run_instrumented(slo: SloConfig, fail_at: Option<u64>) -> Arc<ServeTelemetry>
     telemetry
 }
 
-/// Minimal HTTP/1.0 GET over a std TCP client; returns (status line, body).
-fn get(addr: SocketAddr, path: &str) -> (String, String) {
+/// Minimal HTTP/1.0 GET over a std TCP client; returns (status line,
+/// full header block, body) so callers can assert on headers like
+/// `Content-Type` as well as the document.
+fn get_full(addr: SocketAddr, path: &str) -> (String, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect to telemetry endpoint");
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
@@ -65,7 +67,13 @@ fn get(addr: SocketAddr, path: &str) -> (String, String) {
         .split_once("\r\n\r\n")
         .expect("response has a header/body split");
     let status = head.lines().next().unwrap_or_default().to_owned();
-    (status, body.to_owned())
+    (status, head.to_owned(), body.to_owned())
+}
+
+/// [`get_full`] without the header block.
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let (status, _, body) = get_full(addr, path);
+    (status, body)
 }
 
 /// Every non-comment exposition line must be `name[{labels}] value` with
@@ -121,8 +129,12 @@ fn scrape_endpoint_serves_metrics_timeline_and_health() {
         "exposition lacks streaming tail quantiles"
     );
 
-    let (status, body) = get(addr, "/timeline");
+    let (status, head, body) = get_full(addr, "/timeline");
     assert!(status.contains("200"), "bad /timeline status: {status}");
+    assert!(
+        head.contains("Content-Type: application/json\r\n"),
+        "/timeline must declare a JSON content type: {head}"
+    );
     assert!(body.contains("\"sor-timeline/1\""), "timeline format tag");
     assert!(body.contains("\"epochs\""), "timeline epochs array");
     let parsed = sor_obs::parse_json(&body).expect("timeline body parses as JSON");
@@ -132,9 +144,29 @@ fn scrape_endpoint_serves_metrics_timeline_and_health() {
         .expect("epochs");
     assert_eq!(epochs.len(), 6, "one timeline record per epoch");
 
-    let (status, body) = get(addr, "/health");
+    let (status, head, body) = get_full(addr, "/health");
     assert!(status.contains("200"), "bad /health status: {status}");
+    assert!(
+        head.contains("Content-Type: application/json\r\n"),
+        "/health must declare a JSON content type: {head}"
+    );
+    assert!(
+        body.contains("\"sor-health/1\""),
+        "health format tag: {body}"
+    );
     assert!(body.contains("health:"), "health summary body: {body}");
+    let parsed = sor_obs::parse_json(&body).expect("health body parses as JSON");
+    assert_eq!(
+        parsed
+            .get("healthy")
+            .and_then(|v| v.as_str().map(str::to_owned)),
+        None,
+        "healthy must be a JSON bool, not a string"
+    );
+    assert!(parsed
+        .get("epochs_evaluated")
+        .and_then(|v| v.as_u64())
+        .is_some());
 
     let (status, body) = get(addr, "/timeline?last=2");
     assert!(status.contains("200"), "bad truncated status: {status}");

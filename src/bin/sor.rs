@@ -6,6 +6,7 @@
 //! sor sweep --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]
 //! sor sim   --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]
 //! sor serve --graph <spec> [--epochs E] [--rate R] [--patterns P] [--s K] [--seed N] …
+//! sor compact --graph <spec> [--max-s K] [--demand spec] [--seed N]
 //! ```
 //!
 //! Graph specs: `hypercube:8`, `grid:5x5`, `expander:64x4`, `abilene`,
@@ -33,7 +34,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  sor info    --graph <spec> [--seed N]\n  sor eval    --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor sweep   --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]\n  sor sim     --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor serve   --graph <spec> [--epochs E] [--rate R] [--patterns P] [--pattern-pairs K]\n              [--s K] [--trees T] [--eps E] [--batch B] [--queue-bound Q] [--cache-cap C]\n              [--fail-at E] [--restore-after R] [--compare-fresh] [--integral] [--seed N]\n  sor forensics --journal FILE [--top K] [--json FILE]\n  sor export  --graph <spec> [--s K] [--trees T] [--demand spec] [--seed N]\n  sor process --graph <spec> [--s K] [--tau T] [--demand spec] [--seed N]\nobservability (any subcommand):\n  --trace             print the phase-tree timing report to stderr\n  --metrics-out FILE  write the metrics snapshot (counters/histograms/spans) as JSON\n  --quiet             silence diagnostic logging\nlive telemetry (serve only):\n  --telemetry-addr A  serve Prometheus exposition at A (e.g. 127.0.0.1:9100;\n                      port 0 binds an ephemeral port, printed to stderr)\n  --timeline-out FILE write the epoch timeline as JSON after the run\n  --dashboard         print the epoch timeline dashboard to stderr\n  --hold-ms MS        keep the scrape endpoint up MS ms after the run\n  --slo               arm the default SLO thresholds; or set individually:\n  --slo-max-ratio X --slo-max-p99-ms X --slo-min-hit-rate X --slo-max-fallback X\nflight recorder (serve only):\n  --journal-out FILE  write the causal event journal (sor-journal/1) after the run\n  --journal-epochs N  epochs of journal context per dump (default 16; 0 = all)\n  --dump-on-breach P  write {{P}}-epochNNNNNN.json whenever an epoch trips an SLO rule\nforensics (offline, on a journal dump):\n  --journal FILE      the sor-journal/1 artifact to analyze (required)\n  --top K             per-edge load-shift rows to show (default 8)\n  --json FILE         also write the sor-forensics/1 report as JSON"
+        "usage:\n  sor info    --graph <spec> [--seed N]\n  sor eval    --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor sweep   --graph <spec> [--max-s K] [--demand spec] [--eps E] [--seed N]\n  sor sim     --graph <spec> [--s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor serve   --graph <spec> [--epochs E] [--rate R] [--patterns P] [--pattern-pairs K]\n              [--s K] [--trees T] [--eps E] [--batch B] [--queue-bound Q] [--cache-cap C]\n              [--fail-at E] [--restore-after R] [--compare-fresh] [--integral] [--seed N]\n              [--snapshot-format explicit|compact]\n  sor compact --graph <spec> [--max-s K] [--trees T] [--demand spec] [--eps E] [--seed N]\n  sor forensics --journal FILE [--top K] [--json FILE]\n  sor export  --graph <spec> [--s K] [--trees T] [--demand spec] [--seed N]\n  sor process --graph <spec> [--s K] [--tau T] [--demand spec] [--seed N]\nobservability (any subcommand):\n  --trace             print the phase-tree timing report to stderr\n  --metrics-out FILE  write the metrics snapshot (counters/histograms/spans) as JSON\n  --quiet             silence diagnostic logging\nlive telemetry (serve only):\n  --telemetry-addr A  serve Prometheus exposition at A (e.g. 127.0.0.1:9100;\n                      port 0 binds an ephemeral port, printed to stderr)\n  --timeline-out FILE write the epoch timeline as JSON after the run\n  --dashboard         print the epoch timeline dashboard to stderr\n  --hold-ms MS        keep the scrape endpoint up MS ms after the run\n  --slo               arm the default SLO thresholds; or set individually:\n  --slo-max-ratio X --slo-max-p99-ms X --slo-min-hit-rate X --slo-max-fallback X\nflight recorder (serve only):\n  --journal-out FILE  write the causal event journal (sor-journal/1) after the run\n  --journal-epochs N  epochs of journal context per dump (default 16; 0 = all)\n  --dump-on-breach P  write {{P}}-epochNNNNNN.json whenever an epoch trips an SLO rule\nforensics (offline, on a journal dump):\n  --journal FILE      the sor-journal/1 artifact to analyze (required)\n  --top K             per-edge load-shift rows to show (default 8)\n  --json FILE         also write the sor-forensics/1 report as JSON"
     );
     exit(2)
 }
@@ -205,6 +206,32 @@ fn run(args: &[String]) {
             // lifecycle (ingest → admit → solve on cached path systems →
             // publish). Stdout is bit-deterministic for a fixed seed;
             // wall-clock throughput goes to the (leveled) stderr log.
+            //
+            // Reject silently-inert flag combinations up front: a tuning
+            // flag whose controlling flag is absent does nothing, and the
+            // operator should hear about it rather than wonder why the
+            // artifact never appeared.
+            if flag_value(args, "--journal-epochs").is_some()
+                && flag_value(args, "--journal-out").is_none()
+                && flag_value(args, "--dump-on-breach").is_none()
+            {
+                or_die::<()>(Err(
+                    "--journal-epochs does nothing without --journal-out or --dump-on-breach"
+                        .to_string(),
+                ));
+            }
+            let slo_armed = args.iter().any(|a| a == "--slo")
+                || flag_value(args, "--slo-max-ratio").is_some()
+                || flag_value(args, "--slo-max-p99-ms").is_some()
+                || flag_value(args, "--slo-min-hit-rate").is_some()
+                || flag_value(args, "--slo-max-fallback").is_some();
+            if flag_value(args, "--dump-on-breach").is_some() && !slo_armed {
+                or_die::<()>(Err(
+                    "--dump-on-breach needs an armed SLO rule (--slo or one of \
+                     --slo-max-ratio/--slo-max-p99-ms/--slo-min-hit-rate/--slo-max-fallback)"
+                        .to_string(),
+                ));
+            }
             let ecfg = serve::EngineConfig {
                 sparsity: or_die(flag_parse(args, "--s", 3)),
                 trees: or_die(flag_parse(args, "--trees", 6)),
@@ -214,6 +241,10 @@ fn run(args: &[String]) {
                 cache_capacity: or_die(flag_parse(args, "--cache-cap", 32)),
                 integral: args.iter().any(|a| a == "--integral"),
                 compare_fresh: args.iter().any(|a| a == "--compare-fresh"),
+                snapshot_format: or_die(flag_value(args, "--snapshot-format").map_or(
+                    Ok(serve::SnapshotFormat::Explicit),
+                    serve::SnapshotFormat::parse,
+                )),
                 seed,
             };
             let wcfg = serve::WorkloadConfig {
@@ -341,6 +372,15 @@ fn run(args: &[String]) {
             if let Some(r) = report.mean_fresh_ratio() {
                 println!("  vs fresh  : {r:.3}x (mean cached/fresh congestion)");
             }
+            // Size accounting goes to stderr so stdout stays byte-identical
+            // between --snapshot-format explicit and compact (CI cmp-checks
+            // exactly that; the routes themselves are bit-identical).
+            if let (Some((cb, eb)), false) = (report.mean_compact_bits_per_node(), quiet) {
+                eprintln!(
+                    "compact tables: {cb:.1} bits/node vs {eb:.1} explicit ({:.2}x)",
+                    cb / eb.max(1e-12)
+                );
+            }
             for &(epoch, e) in &report.failures {
                 println!("  failure   : epoch {epoch}, edge {}", e.0);
             }
@@ -395,6 +435,59 @@ fn run(args: &[String]) {
                 std::thread::sleep(std::time::Duration::from_millis(hold_ms));
             }
             drop(server);
+        }
+        "compact" => {
+            // Table-size vs congestion trade-off: for each sparsity level,
+            // sample a path system, re-encode it as compact next-hop
+            // tables (verified lossless — decode must bit-match before
+            // stats are trusted), and report both encodings' footprints
+            // next to the congestion the system achieves.
+            let eps: f64 = or_die(flag_parse(args, "--eps", 0.15));
+            let trees: usize = or_die(flag_parse(args, "--trees", 8));
+            let max_s: usize = or_die(flag_parse(args, "--max-s", 6));
+            let dspec = flag_value(args, "--demand").unwrap_or("perm");
+            let demand = or_die(parse_demand(dspec, &g, seed));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = RaeckeRouting::build(g.clone(), trees, &mut rng);
+            let tree = base
+                .trees()
+                .first()
+                // sor-check: allow(unwrap, panic-path) — invariant stated in the expect message
+                .expect("RaeckeRouting::build produces at least one tree");
+            println!(
+                "compact tables on {gspec} | demand {dspec} ({} pairs) | n = {}, trees = {trees}",
+                demand.support_size(),
+                g.num_nodes()
+            );
+            println!(
+                "{:>3} {:>12} {:>12} {:>12} {:>7} {:>6}",
+                "s", "congestion", "compact b/n", "explicit b/n", "ratio", "exc"
+            );
+            for s in 1..=max_s {
+                let sampled = sample_k(&base, &demand_pairs(&demand), s, &mut rng);
+                let report = semi_oblivious_routing::compact::verify_round_trip(
+                    &g,
+                    tree,
+                    &sampled.system,
+                    &demand,
+                    Some(s),
+                    eps,
+                );
+                if !report.ok() {
+                    or_die::<()>(Err(format!(
+                        "compact round-trip failed at s = {s}: decoded system diverged"
+                    )));
+                }
+                let stats = report.stats;
+                println!(
+                    "{s:>3} {:>12.3} {:>12.1} {:>12.1} {:>7.2} {:>6}",
+                    report.congestion_compact,
+                    stats.bits_per_node(),
+                    stats.explicit_bits_per_node(),
+                    stats.ratio(),
+                    stats.exceptions
+                );
+            }
         }
         "eval" | "sweep" => {
             let eps: f64 = or_die(flag_parse(args, "--eps", 0.15));

@@ -11,6 +11,8 @@
 //! * [`obs`] — spans, metrics, and leveled logging ([`sor_obs`]),
 //! * [`core`] — the paper's contribution: sparse semi-oblivious routing
 //!   ([`sor_core`]),
+//! * [`compact`] — o(n)-state compact routing tables and their verified
+//!   lossless codec ([`sor_compact`]),
 //! * [`sched`] — packet scheduling / completion time ([`sor_sched`]),
 //! * [`te`] — SMORE-style traffic engineering harness ([`sor_te`]),
 //! * [`serve`] — the online epoch-serving engine ([`sor_serve`]),
@@ -20,6 +22,7 @@
 
 pub mod cli;
 
+pub use sor_compact as compact;
 pub use sor_core as core;
 pub use sor_flow as flow;
 pub use sor_graph as graph;
